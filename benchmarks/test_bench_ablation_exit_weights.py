@@ -1,0 +1,19 @@
+"""Benchmark E8 — exit-loss weight ablation (paper Section IV-A discussion)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import run_weight_ablation
+
+
+def test_bench_ablation_exit_weights(benchmark, scale, record_result):
+    result = benchmark.pedantic(run_weight_ablation, args=(scale,), rounds=1, iterations=1)
+    record_result(result)
+
+    assert [row["weighting"] for row in result.rows] == ["equal", "local-heavy", "cloud-heavy"]
+    overall = np.array(result.column("overall_accuracy_pct"))
+    # The paper reports the solution is not sensitive to the exit weights: all
+    # three settings land in a broad common band (no collapse to chance).
+    assert (overall > 100.0 / 3.0).all()
+    assert overall.max() - overall.min() < 40.0

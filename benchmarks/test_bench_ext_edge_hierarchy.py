@@ -1,0 +1,23 @@
+"""Benchmark E9a — extension: device/edge/cloud topologies (Fig. 2 (d)-(f))."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import run_edge_hierarchy
+
+
+def test_bench_ext_edge_hierarchy(benchmark, scale, record_result):
+    result = benchmark.pedantic(run_edge_hierarchy, args=(scale,), rounds=1, iterations=1)
+    record_result(result)
+
+    assert len(result.rows) == 3
+    # The two edge topologies actually expose an edge exit.
+    edge_rows = result.rows[1:]
+    for row in edge_rows:
+        assert not np.isnan(row["edge_accuracy_pct"])
+        assert 0.0 <= row["edge_accuracy_pct"] <= 100.0
+    # The baseline (c) topology has no edge exit.
+    assert np.isnan(result.rows[0]["edge_accuracy_pct"])
+    overall = np.array(result.column("overall_accuracy_pct"))
+    assert ((0 <= overall) & (overall <= 100)).all()

@@ -1,0 +1,18 @@
+"""Benchmark E9b — extension: mixed-precision cloud (paper Section VI)."""
+
+from __future__ import annotations
+
+from repro.experiments import run_mixed_precision
+
+
+def test_bench_ext_mixed_precision(benchmark, scale, record_result):
+    result = benchmark.pedantic(run_mixed_precision, args=(scale,), rounds=1, iterations=1)
+    record_result(result)
+
+    rows = {row["cloud_precision"]: row for row in result.rows}
+    assert set(rows) == {"binary", "float"}
+    for row in rows.values():
+        assert 0.0 <= row["cloud_accuracy_pct"] <= 100.0
+    # A floating-point cloud should not be (much) worse than a binary cloud —
+    # it strictly generalises the binary hypothesis class.
+    assert rows["float"]["cloud_accuracy_pct"] >= rows["binary"]["cloud_accuracy_pct"] - 15.0

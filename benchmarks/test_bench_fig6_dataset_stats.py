@@ -1,0 +1,20 @@
+"""Benchmark E1 — regenerate Figure 6 (class distribution per device)."""
+
+from __future__ import annotations
+
+from repro.datasets import CLASS_NAMES
+from repro.experiments import run_dataset_stats
+
+
+def test_bench_fig6_dataset_stats(benchmark, scale, record_result):
+    result = benchmark.pedantic(run_dataset_stats, args=(scale,), rounds=1, iterations=1)
+    record_result(result)
+
+    assert len(result.rows) == scale.num_devices
+    for row in result.rows:
+        assert row["total"] == scale.train_samples
+        assert all(row[name] >= 0 for name in CLASS_NAMES)
+    # The visibility imbalance of Fig. 6: the best-placed device sees more
+    # objects than the worst-placed one.
+    not_present = result.column("not-present")
+    assert min(not_present) < max(not_present)

@@ -1,0 +1,34 @@
+"""Benchmark E2 — regenerate Table I (accuracy of aggregation schemes)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import PAPER_TABLE1_ORDER, run_aggregation_table
+
+
+def test_bench_table1_aggregation(benchmark, scale, record_result):
+    result = benchmark.pedantic(run_aggregation_table, args=(scale,), rounds=1, iterations=1)
+    record_result(result)
+
+    assert [row["scheme"] for row in result.rows] == list(PAPER_TABLE1_ORDER)
+    local = np.array(result.column("local_accuracy_pct"))
+    cloud = np.array(result.column("cloud_accuracy_pct"))
+    assert ((0 <= local) & (local <= 100)).all()
+    assert ((0 <= cloud) & (cloud <= 100)).all()
+
+    # Robust shape check from the paper's Table I discussion: concatenation is
+    # the right cloud aggregator (it "maintains the most information for NN
+    # layer processing in the cloud") while max pooling the cloud feature maps
+    # performs poorly.  Averaged over local schemes, *-CC must beat *-MP in
+    # the cloud column at any training scale.  (The paper's stronger claim —
+    # MP-CC best overall — emerges at the full 100-epoch paper scale; at ci
+    # scale the CC local aggregator's trainable projection converges faster,
+    # see EXPERIMENTS.md.)
+    by_scheme = {row["scheme"]: row for row in result.rows}
+    cc_cloud = np.mean([by_scheme[s]["cloud_accuracy_pct"] for s in ("MP-CC", "AP-CC", "CC-CC")])
+    mp_cloud = np.mean([by_scheme[s]["cloud_accuracy_pct"] for s in ("MP-MP", "AP-MP", "CC-MP")])
+    assert cc_cloud > mp_cloud
+    # Every scheme must train to something meaningfully above the 33% chance level
+    # at at least one exit.
+    assert (np.maximum(local, cloud) > 45.0).all()

@@ -1,0 +1,32 @@
+"""Benchmark E3 — regenerate Table II / Figure 7 (exit-threshold sweep)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import PAPER_TABLE2_THRESHOLDS, run_threshold_sweep
+
+
+def test_bench_table2_fig7_threshold_sweep(benchmark, scale, record_result):
+    result = benchmark.pedantic(run_threshold_sweep, args=(scale,), rounds=1, iterations=1)
+    record_result(result)
+
+    assert [row["threshold"] for row in result.rows] == list(PAPER_TABLE2_THRESHOLDS)
+
+    exits = np.array(result.column("local_exit_pct"))
+    communication = np.array(result.column("communication_bytes"))
+    accuracy = np.array(result.column("overall_accuracy_pct"))
+
+    # Local exit rate grows monotonically with the threshold and communication
+    # shrinks monotonically (the paper's Table II trend).
+    assert (np.diff(exits) >= -1e-9).all()
+    assert (np.diff(communication) <= 1e-9).all()
+    assert exits[-1] == 100.0
+
+    # Eq. 1 extremes for the evaluation architecture: 4*|C| bytes when all
+    # samples exit locally; 4*|C| + f*o/8 when none do.
+    expected_floor = 4 * 3
+    expected_ceiling = expected_floor + scale.device_filters * 256 / 8
+    assert communication[-1] == expected_floor
+    assert communication[0] <= expected_ceiling + 1e-9
+    assert ((0 <= accuracy) & (accuracy <= 100)).all()

@@ -1,0 +1,52 @@
+"""Print the multi-view multi-camera dataset statistics (paper Figure 6).
+
+Shows, for each device, how many samples of each class appear in its frames
+and how often the object is not visible at all — the imbalance that drives
+the wide spread of individual device accuracies in the paper.
+
+Run with::
+
+    python examples/dataset_statistics.py [--train-samples 680]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.datasets import CLASS_NAMES, class_distribution_per_device, load_mvmc_splits
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--train-samples", type=int, default=680)
+    parser.add_argument("--test-samples", type=int, default=171)
+    parser.add_argument("--seed", type=int, default=7)
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    train_set, test_set = load_mvmc_splits(
+        train_samples=args.train_samples, test_samples=args.test_samples, seed=args.seed
+    )
+    print(f"Train samples: {len(train_set)}   Test samples: {len(test_set)}")
+    print(f"Classes: {', '.join(CLASS_NAMES)}\n")
+
+    distribution = class_distribution_per_device(train_set)
+    header = f"{'device':>8} | " + " | ".join(f"{name:>7}" for name in CLASS_NAMES) + " | not-present"
+    print(header)
+    print("-" * len(header))
+    for device_index in range(train_set.num_devices):
+        counts = " | ".join(f"{distribution[name][device_index]:7d}" for name in CLASS_NAMES)
+        print(f"{train_set.profiles[device_index].name:>8} | {counts} | "
+              f"{distribution['not-present'][device_index]:11d}")
+
+    presence = train_set.presence().sum(axis=0)
+    print("\nVisibility per device (objects in frame):")
+    for device_index, count in enumerate(presence):
+        bar = "#" * int(40 * count / len(train_set))
+        print(f"  {train_set.profiles[device_index].name:>9}: {count:4d} {bar}")
+
+
+if __name__ == "__main__":
+    main()

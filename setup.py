@@ -1,0 +1,10 @@
+"""Setup shim so that ``pip install -e .`` works without the ``wheel`` package.
+
+All project metadata lives in ``pyproject.toml``; this file only enables the
+legacy editable-install path (``setup.py develop``) used in offline
+environments where PEP 660 wheel building is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

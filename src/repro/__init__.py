@@ -1,0 +1,28 @@
+"""Reproduction of *Distributed Deep Neural Networks over the Cloud, the Edge
+and End Devices* (Teerapittayanon, McDanel, Kung — ICDCS 2017).
+
+Subpackages
+-----------
+``repro.nn``
+    A self-contained NumPy deep-learning substrate (autodiff, binary NN
+    layers, fused eBNN blocks, Adam, data utilities).
+``repro.datasets``
+    Synthetic multi-view multi-camera dataset matching the paper's evaluation
+    data in structure and statistics.
+``repro.core``
+    The DDNN framework: multi-exit model, aggregation schemes, joint
+    training, entropy-threshold inference and the communication cost model.
+``repro.hierarchy``
+    A distributed computing hierarchy simulator (devices, edge, cloud,
+    network links, fault injection) used to run partitioned DDNN inference.
+``repro.baselines``
+    Individual per-device models and the cloud-only raw-offload baseline.
+``repro.experiments``
+    One module per table/figure of the paper's evaluation section.
+"""
+
+from . import core, datasets, nn
+
+__version__ = "1.0.0"
+
+__all__ = ["nn", "datasets", "core", "__version__"]

@@ -1,0 +1,136 @@
+"""Individual per-device baseline models (paper Section III-F / IV-E).
+
+"Individual accuracy" in the paper is the accuracy of an NN model trained
+*separately* for a single end device, consisting of a ConvP block followed by
+an FC block (the same blocks a DDNN device branch uses), classifying all of
+that device's samples without any help from the local or cloud exits.
+
+These baselines quantify what a device could do on its own and are the
+reference the DDNN's fused local/cloud accuracies are compared against in
+Figures 8 and 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.config import TrainingConfig
+from ..datasets.mvmc import MVMCDataset
+from ..nn.blocks import ConvPBlock, FCBlock
+from ..nn.layers import Module
+from ..nn.losses import softmax_cross_entropy
+from ..nn.metrics import accuracy
+from ..nn.optim import Adam
+from ..nn.tensor import Tensor, no_grad
+
+__all__ = ["IndividualDeviceModel", "train_individual_model", "individual_accuracies"]
+
+
+class IndividualDeviceModel(Module):
+    """A standalone single-device classifier: ConvP block + FC block."""
+
+    def __init__(
+        self,
+        in_channels: int = 3,
+        filters: int = 4,
+        input_size: int = 32,
+        num_classes: int = 3,
+        binary: bool = True,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.features = ConvPBlock(in_channels, filters, binary=binary, rng=rng)
+        self.output_size = self.features.output_spatial_size(input_size)
+        self.classifier = FCBlock(
+            filters * self.output_size**2, num_classes, binary=binary, final=True, rng=rng
+        )
+        self.num_classes = num_classes
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return self.classifier(self.features(inputs).flatten(start_dim=1))
+
+    def predict(self, views: np.ndarray, batch_size: int = 128) -> np.ndarray:
+        """Predicted class indices for a batch of views."""
+        self.eval()
+        predictions = []
+        with no_grad():
+            for start in range(0, len(views), batch_size):
+                logits = self(Tensor(views[start : start + batch_size]))
+                predictions.append(logits.data.argmax(axis=1))
+        return np.concatenate(predictions) if predictions else np.zeros(0, dtype=np.int64)
+
+
+def train_individual_model(
+    dataset: MVMCDataset,
+    device_index: int,
+    filters: int = 4,
+    config: Optional[TrainingConfig] = None,
+    binary: bool = True,
+) -> IndividualDeviceModel:
+    """Train a standalone model for one device.
+
+    Following the paper, only samples in which the object is present in that
+    device's frame carry that device's class label; blank frames (label -1)
+    are excluded from this device's training set.
+    """
+    config = config if config is not None else TrainingConfig(epochs=50)
+    views = dataset.device_views(device_index)
+    labels = dataset.device_labels[:, device_index]
+    present = labels >= 0
+    views, labels = views[present], labels[present]
+    if len(views) == 0:
+        raise ValueError(f"device {device_index} has no training samples with the object present")
+
+    model = IndividualDeviceModel(
+        in_channels=dataset.image_shape[0],
+        filters=filters,
+        input_size=dataset.image_shape[1],
+        num_classes=dataset.num_classes,
+        binary=binary,
+        seed=config.seed + device_index,
+    )
+    optimizer = Adam(model.parameters(), lr=config.learning_rate, betas=(config.beta1, config.beta2), eps=config.eps)
+    rng = np.random.default_rng(config.seed + device_index)
+
+    model.train()
+    for _ in range(config.epochs):
+        order = rng.permutation(len(views))
+        for start in range(0, len(order), config.batch_size):
+            batch = order[start : start + config.batch_size]
+            logits = model(Tensor(views[batch]))
+            loss = softmax_cross_entropy(logits, labels[batch])
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+    return model
+
+
+def individual_accuracies(
+    train_set: MVMCDataset,
+    test_set: MVMCDataset,
+    filters: int = 4,
+    config: Optional[TrainingConfig] = None,
+    binary: bool = True,
+    device_indices: Optional[List[int]] = None,
+) -> Dict[int, float]:
+    """Individual accuracy of each device, evaluated on the full test set.
+
+    Note that evaluation uses *all* test samples (including ones where the
+    object is not visible to the device), which is exactly why badly placed
+    devices have low individual accuracy in the paper's Figure 8.
+    """
+    device_indices = (
+        list(range(train_set.num_devices)) if device_indices is None else list(device_indices)
+    )
+    results: Dict[int, float] = {}
+    for device_index in device_indices:
+        model = train_individual_model(
+            train_set, device_index, filters=filters, config=config, binary=binary
+        )
+        predictions = model.predict(test_set.device_views(device_index))
+        results[device_index] = accuracy(predictions, test_set.labels)
+    return results

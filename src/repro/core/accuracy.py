@@ -1,0 +1,116 @@
+"""Accuracy measures defined by the paper (Section III-F).
+
+* **Local / Edge / Cloud accuracy** — accuracy when 100% of samples are
+  classified at that exit.
+* **Overall accuracy** — accuracy of staged inference, where each sample is
+  classified at the first exit whose normalized entropy is below its
+  threshold.
+* **Individual accuracy** — accuracy of a per-device model trained in
+  isolation (see :mod:`repro.baselines.individual`); included here only as a
+  result container so every measure lives in one report type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..datasets.mvmc import MVMCDataset
+from ..nn.tensor import no_grad
+from .ddnn import DDNN
+from .inference import StagedInferenceEngine
+
+__all__ = ["AccuracyReport", "evaluate_exit_accuracies", "evaluate_overall", "full_accuracy_report"]
+
+
+@dataclass
+class AccuracyReport:
+    """All paper accuracy measures for one trained DDNN on one dataset."""
+
+    exit_accuracy: Dict[str, float] = field(default_factory=dict)
+    overall_accuracy: Optional[float] = None
+    local_exit_fraction: Optional[float] = None
+    communication_bytes: Optional[float] = None
+    individual_accuracy: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def local_accuracy(self) -> Optional[float]:
+        return self.exit_accuracy.get("local")
+
+    @property
+    def edge_accuracy(self) -> Optional[float]:
+        return self.exit_accuracy.get("edge")
+
+    @property
+    def cloud_accuracy(self) -> Optional[float]:
+        return self.exit_accuracy.get("cloud")
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dictionary form used by the experiment result tables."""
+        payload: Dict[str, object] = {
+            f"{name}_accuracy": value for name, value in self.exit_accuracy.items()
+        }
+        if self.overall_accuracy is not None:
+            payload["overall_accuracy"] = self.overall_accuracy
+        if self.local_exit_fraction is not None:
+            payload["local_exit_fraction"] = self.local_exit_fraction
+        if self.communication_bytes is not None:
+            payload["communication_bytes"] = self.communication_bytes
+        if self.individual_accuracy:
+            payload["individual_accuracy"] = dict(self.individual_accuracy)
+        return payload
+
+
+def evaluate_exit_accuracies(
+    model: DDNN, dataset: MVMCDataset, batch_size: int = 64
+) -> Dict[str, float]:
+    """Accuracy of each exit when classifying 100% of the dataset there."""
+    model.eval()
+    correct = {name: 0 for name in model.exit_names}
+    total = 0
+    with no_grad():
+        for start in range(0, len(dataset), batch_size):
+            views = dataset.images[start : start + batch_size]
+            targets = dataset.labels[start : start + batch_size]
+            output = model(views)
+            total += len(targets)
+            for name, logits in zip(output.exit_names, output.exit_logits):
+                correct[name] += int(np.sum(logits.data.argmax(axis=1) == targets))
+    return {name: correct[name] / total for name in model.exit_names}
+
+
+def evaluate_overall(
+    model: DDNN,
+    dataset: MVMCDataset,
+    thresholds: Union[float, Sequence[float]],
+    batch_size: int = 64,
+) -> AccuracyReport:
+    """Overall accuracy under staged inference plus the implied comm. cost."""
+    engine = StagedInferenceEngine(model, thresholds, batch_size=batch_size)
+    result = engine.run(dataset)
+    report = AccuracyReport(
+        exit_accuracy={
+            name: float(np.mean(result.exit_predictions[name] == dataset.labels))
+            for name in model.exit_names
+        },
+        overall_accuracy=result.overall_accuracy(dataset.labels),
+        local_exit_fraction=result.local_exit_fraction,
+        communication_bytes=engine.communication_bytes(result),
+    )
+    return report
+
+
+def full_accuracy_report(
+    model: DDNN,
+    dataset: MVMCDataset,
+    thresholds: Union[float, Sequence[float]],
+    individual_accuracy: Optional[Dict[int, float]] = None,
+    batch_size: int = 64,
+) -> AccuracyReport:
+    """Every paper accuracy measure in one report."""
+    report = evaluate_overall(model, dataset, thresholds, batch_size=batch_size)
+    if individual_accuracy is not None:
+        report.individual_accuracy = dict(individual_accuracy)
+    return report

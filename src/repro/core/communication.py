@@ -1,0 +1,112 @@
+"""Communication-cost model for DDNN inference (paper Section III-E).
+
+The paper measures the average number of bytes an end device transmits per
+sample.  Two messages are involved:
+
+1. the class-score summary sent to the local aggregator for **every** sample
+   (one 4-byte float per class), and
+2. the binarized feature map sent to the cloud only for the ``1 - l``
+   fraction of samples that are not exited locally (``f`` filters, ``o``
+   binary output elements per filter, packed 8 per byte).
+
+The total per-device cost is Eq. 1 of the paper:
+
+    c = 4 * |C| + (1 - l) * f * o / 8
+
+The standard baseline transmits the raw sensor input instead (a 32x32 RGB
+image = 3072 bytes per sample).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .config import DDNNConfig
+
+__all__ = [
+    "FLOAT_BYTES",
+    "BITS_PER_BYTE",
+    "CommunicationModel",
+    "ddnn_communication_bytes",
+    "raw_offload_bytes",
+]
+
+#: Bytes used to represent one floating-point number in transit.
+FLOAT_BYTES = 4
+#: Bits per byte (binary feature maps are packed).
+BITS_PER_BYTE = 8
+
+
+def ddnn_communication_bytes(
+    num_classes: int,
+    local_exit_fraction: float,
+    filters: int,
+    filter_output_elements: int,
+) -> float:
+    """Average per-device communication per sample in bytes (paper Eq. 1).
+
+    Parameters
+    ----------
+    num_classes:
+        ``|C|``, the number of target classes.
+    local_exit_fraction:
+        ``l``, the fraction of samples exited at the local exit point.
+    filters:
+        ``f``, the number of filters of the device's final ConvP block.
+    filter_output_elements:
+        ``o``, the number of output elements of a single filter (e.g. 16x16 =
+        256 for a 32x32 input after one ConvP block).
+    """
+    if not 0.0 <= local_exit_fraction <= 1.0:
+        raise ValueError(f"local_exit_fraction must be in [0, 1], got {local_exit_fraction}")
+    if num_classes < 1 or filters < 1 or filter_output_elements < 1:
+        raise ValueError("num_classes, filters and filter_output_elements must be positive")
+    summary = FLOAT_BYTES * num_classes
+    offload = (1.0 - local_exit_fraction) * filters * filter_output_elements / BITS_PER_BYTE
+    return summary + offload
+
+
+def raw_offload_bytes(
+    input_channels: int = 3, input_size: int = 32, bytes_per_value: int = 1
+) -> float:
+    """Bytes needed to ship the raw sensor input to the cloud (baseline).
+
+    A 32x32 RGB image at one byte per pixel channel costs 3072 bytes, the
+    figure used in the paper's Section IV-H comparison.
+    """
+    return float(input_channels * input_size * input_size * bytes_per_value)
+
+
+@dataclass
+class CommunicationModel:
+    """Communication accounting bound to one DDNN architecture.
+
+    The model exposes per-device and total costs for DDNN inference, and the
+    raw-offload baseline for the same input geometry, so experiment code can
+    report the communication reduction factor directly.
+    """
+
+    config: DDNNConfig
+
+    def per_device_bytes(self, local_exit_fraction: float) -> float:
+        """Average bytes transmitted per sample by a single end device (Eq. 1)."""
+        return ddnn_communication_bytes(
+            num_classes=self.config.num_classes,
+            local_exit_fraction=local_exit_fraction,
+            filters=self.config.device_filters,
+            filter_output_elements=self.config.device_feature_map_elements,
+        )
+
+    def total_bytes(self, local_exit_fraction: float) -> float:
+        """Average bytes transmitted per sample by all devices combined."""
+        return self.config.num_devices * self.per_device_bytes(local_exit_fraction)
+
+    def raw_offload_per_device_bytes(self) -> float:
+        """Bytes per sample if a device offloads its raw sensor input."""
+        return raw_offload_bytes(self.config.input_channels, self.config.input_size)
+
+    def reduction_factor(self, local_exit_fraction: float) -> float:
+        """Raw-offload cost divided by DDNN cost (the paper reports > 20x)."""
+        ddnn_cost = self.per_device_bytes(local_exit_fraction)
+        return self.raw_offload_per_device_bytes() / ddnn_cost

@@ -1,0 +1,177 @@
+"""Configuration dataclasses for DDNN architectures and training runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+__all__ = ["DDNNTopology", "DDNNConfig", "TrainingConfig"]
+
+
+#: Named topologies matching the sub-figures of the paper's Figure 2.
+DDNN_TOPOLOGIES = (
+    "cloud_only",            # (a) standard DNN in the cloud
+    "device_cloud",          # (b) single device + cloud with a local exit
+    "devices_cloud",         # (c) multiple devices + cloud (paper's evaluation)
+    "device_edge_cloud",     # (d) single device + edge + cloud
+    "devices_edge_cloud",    # (e) multiple devices + edge + cloud
+    "devices_edges_cloud",   # (f) multiple devices + multiple edges + cloud
+)
+
+
+@dataclass(frozen=True)
+class DDNNTopology:
+    """Which tiers exist in the distributed hierarchy and how they are wired.
+
+    Attributes
+    ----------
+    name:
+        One of the Figure 2 configuration names (see ``DDNN_TOPOLOGIES``).
+    has_local_exit:
+        Whether an exit point exists after the device tier.
+    has_edge:
+        Whether an edge tier sits between devices and cloud.
+    num_edges:
+        Number of edge nodes (only meaningful when ``has_edge``); devices are
+        partitioned round-robin across edges.
+    """
+
+    name: str
+    has_local_exit: bool
+    has_edge: bool
+    num_edges: int = 1
+
+    @staticmethod
+    def from_name(name: str, num_edges: int = 1) -> "DDNNTopology":
+        if name not in DDNN_TOPOLOGIES:
+            raise ValueError(f"unknown topology '{name}'; expected one of {DDNN_TOPOLOGIES}")
+        has_local_exit = name != "cloud_only"
+        has_edge = "edge" in name
+        edges = num_edges if name == "devices_edges_cloud" else (1 if has_edge else 0)
+        return DDNNTopology(name=name, has_local_exit=has_local_exit, has_edge=has_edge, num_edges=edges)
+
+
+@dataclass
+class DDNNConfig:
+    """Architecture hyper-parameters of a DDNN (paper Fig. 4 defaults).
+
+    Attributes
+    ----------
+    num_devices:
+        Number of end devices (cameras).
+    num_classes:
+        Number of target classes (3 in the paper's evaluation).
+    input_channels, input_size:
+        Per-device input geometry (3 x 32 x 32 RGB in the paper).
+    device_filters:
+        Number of filters ``f`` in each device's ConvP block.
+    device_conv_blocks:
+        Number of ConvP blocks per device (1 in the evaluation architecture).
+    cloud_filters:
+        Number of filters in the cloud's ConvP blocks.
+    cloud_conv_blocks:
+        Number of ConvP blocks in the cloud section.
+    cloud_hidden_units:
+        Width of the hidden FC block before the cloud exit (0 disables it).
+    edge_filters, edge_conv_blocks:
+        Edge-tier geometry (used only when the topology has an edge).
+    local_aggregation, cloud_aggregation, edge_aggregation:
+        Two-letter scheme codes (``MP``/``AP``/``CC``); the paper's default is
+        MP locally and CC in the cloud (``MP-CC``).
+    binary_devices, binary_cloud, binary_edge:
+        Whether each tier uses binary (BNN) blocks.  The paper's evaluation is
+        fully binary; the mixed-precision extension sets ``binary_cloud=False``.
+    topology:
+        Hierarchy wiring, see :class:`DDNNTopology`.
+    seed:
+        Seed used for parameter initialisation.
+    """
+
+    num_devices: int = 6
+    num_classes: int = 3
+    input_channels: int = 3
+    input_size: int = 32
+    device_filters: int = 4
+    device_conv_blocks: int = 1
+    cloud_filters: int = 16
+    cloud_conv_blocks: int = 2
+    cloud_hidden_units: int = 64
+    edge_filters: int = 8
+    edge_conv_blocks: int = 1
+    local_aggregation: str = "MP"
+    cloud_aggregation: str = "CC"
+    edge_aggregation: str = "CC"
+    binary_devices: bool = True
+    binary_cloud: bool = True
+    binary_edge: bool = True
+    topology: DDNNTopology = field(
+        default_factory=lambda: DDNNTopology.from_name("devices_cloud")
+    )
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_devices < 1:
+            raise ValueError("num_devices must be at least 1")
+        if self.num_classes < 2:
+            raise ValueError("num_classes must be at least 2")
+        if self.device_filters < 1 or self.cloud_filters < 1:
+            raise ValueError("filter counts must be positive")
+        if self.device_conv_blocks < 1:
+            raise ValueError("device_conv_blocks must be at least 1")
+        for scheme in (self.local_aggregation, self.cloud_aggregation, self.edge_aggregation):
+            if scheme.upper() not in ("MP", "AP", "CC"):
+                raise ValueError(f"unknown aggregation scheme '{scheme}'")
+
+    @property
+    def scheme(self) -> str:
+        """Scheme string in the paper's Table I notation, e.g. ``"MP-CC"``."""
+        return f"{self.local_aggregation.upper()}-{self.cloud_aggregation.upper()}"
+
+    @property
+    def device_output_size(self) -> int:
+        """Spatial size of a device's final ConvP output (16 for 32x32 input)."""
+        size = self.input_size
+        for _ in range(self.device_conv_blocks):
+            size = _convp_output_size(size)
+        return size
+
+    @property
+    def device_feature_map_elements(self) -> int:
+        """``o`` in the paper's Eq. 1: output elements of a single filter."""
+        return self.device_output_size ** 2
+
+
+def _convp_output_size(size: int) -> int:
+    """Spatial size after one ConvP block (3x3 s1 p1 conv, 3x3 s2 p1 pool)."""
+    after_conv = (size + 2 * 1 - 3) // 1 + 1
+    return (after_conv + 2 * 1 - 3) // 2 + 1
+
+
+@dataclass
+class TrainingConfig:
+    """Hyper-parameters of a joint DDNN training run.
+
+    Defaults follow the paper: Adam with ``alpha=0.001``, ``beta1=0.9``,
+    ``beta2=0.999``, ``eps=1e-8``, equal exit weights, 100 epochs.  The epoch
+    count is configurable because the reproduction's CI-scale runs use fewer.
+    """
+
+    epochs: int = 100
+    batch_size: int = 32
+    learning_rate: float = 0.001
+    beta1: float = 0.9
+    beta2: float = 0.999
+    eps: float = 1e-8
+    exit_weights: Optional[Sequence[float]] = None
+    shuffle: bool = True
+    seed: int = 0
+    verbose: bool = False
+    log_every: int = 10
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1:
+            raise ValueError("epochs must be at least 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")

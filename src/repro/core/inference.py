@@ -1,0 +1,210 @@
+"""Staged DDNN inference with entropy-threshold exits (paper Sections III-D/F).
+
+Inference proceeds bottom-up through the hierarchy: the local exit evaluates
+the aggregated device scores and exits every sample whose normalized entropy
+is at or below the local threshold; remaining samples are (conceptually)
+forwarded to the edge and finally to the cloud, whose exit always classifies.
+
+:class:`StagedInferenceEngine` runs this procedure on an in-memory model and
+produces an :class:`InferenceResult` with per-sample predictions, exit
+assignments and the communication cost implied by the local exit rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..datasets.mvmc import MVMCDataset
+from ..nn.tensor import no_grad
+from .communication import CommunicationModel
+from .ddnn import DDNN
+from .exits import ExitCriterion
+
+__all__ = ["InferenceResult", "StagedInferenceEngine", "staged_inference"]
+
+
+@dataclass
+class InferenceResult:
+    """Per-sample outcome of staged DDNN inference.
+
+    Attributes
+    ----------
+    predictions:
+        Final predicted class per sample (from whichever exit classified it).
+    exit_indices:
+        Index of the exit each sample used (0 = local, last = cloud).
+    exit_names:
+        Names of the exits, indexed by ``exit_indices`` values.
+    entropies:
+        Normalized entropy observed at the exit that classified each sample.
+    exit_predictions:
+        For reference, each exit's prediction for every sample (as if all
+        samples were classified there).
+    targets:
+        Ground-truth labels if they were supplied.
+    """
+
+    predictions: np.ndarray
+    exit_indices: np.ndarray
+    exit_names: List[str]
+    entropies: np.ndarray
+    exit_predictions: Dict[str, np.ndarray] = field(default_factory=dict)
+    targets: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    def exit_fraction(self, exit_name: str) -> float:
+        """Fraction of samples classified at the named exit."""
+        index = self.exit_names.index(exit_name)
+        if self.exit_indices.size == 0:
+            return 0.0
+        return float(np.mean(self.exit_indices == index))
+
+    @property
+    def local_exit_fraction(self) -> float:
+        """Fraction of samples exited at the first (local) exit."""
+        return self.exit_fraction(self.exit_names[0])
+
+    def overall_accuracy(self, targets: Optional[np.ndarray] = None) -> float:
+        """Accuracy of the staged predictions against the targets."""
+        targets = self._resolve_targets(targets)
+        return float(np.mean(self.predictions == targets))
+
+    def exit_accuracy(self, exit_name: str, targets: Optional[np.ndarray] = None) -> float:
+        """Accuracy of one exit when classifying 100% of the samples."""
+        targets = self._resolve_targets(targets)
+        return float(np.mean(self.exit_predictions[exit_name] == targets))
+
+    def accuracy_of_exited_samples(
+        self, exit_name: str, targets: Optional[np.ndarray] = None
+    ) -> float:
+        """Accuracy restricted to the samples that actually used this exit."""
+        targets = self._resolve_targets(targets)
+        index = self.exit_names.index(exit_name)
+        mask = self.exit_indices == index
+        if not mask.any():
+            return float("nan")
+        return float(np.mean(self.predictions[mask] == targets[mask]))
+
+    def _resolve_targets(self, targets: Optional[np.ndarray]) -> np.ndarray:
+        if targets is not None:
+            return np.asarray(targets)
+        if self.targets is None:
+            raise ValueError("targets were not recorded; pass them explicitly")
+        return self.targets
+
+
+class StagedInferenceEngine:
+    """Runs threshold-based multi-exit inference for a trained DDNN.
+
+    Parameters
+    ----------
+    model:
+        A trained :class:`~repro.core.ddnn.DDNN`.
+    thresholds:
+        One entropy threshold per non-final exit, or per exit (the final
+        exit's threshold is ignored because it always classifies).  A single
+        float is broadcast to all non-final exits.
+    """
+
+    def __init__(
+        self,
+        model: DDNN,
+        thresholds: Union[float, Sequence[float]],
+        batch_size: int = 64,
+    ) -> None:
+        self.model = model
+        self.batch_size = batch_size
+        self.criteria = self._build_criteria(thresholds)
+        self.communication = CommunicationModel(model.config)
+
+    def _build_criteria(self, thresholds: Union[float, Sequence[float]]) -> List[ExitCriterion]:
+        exit_names = self.model.exit_names
+        if isinstance(thresholds, (int, float)):
+            values = [float(thresholds)] * len(exit_names)
+        else:
+            values = [float(t) for t in thresholds]
+            if len(values) == len(exit_names) - 1:
+                values = values + [1.0]
+            if len(values) != len(exit_names):
+                raise ValueError(
+                    f"expected {len(exit_names) - 1} or {len(exit_names)} thresholds, "
+                    f"got {len(values)}"
+                )
+        # The final exit always classifies whatever reaches it.
+        values[-1] = 1.0
+        return [ExitCriterion(value, name=name) for value, name in zip(values, exit_names)]
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self, dataset: Union[MVMCDataset, np.ndarray], targets: Optional[np.ndarray] = None
+    ) -> InferenceResult:
+        """Run staged inference over a dataset or raw view array."""
+        if isinstance(dataset, MVMCDataset):
+            views = dataset.images
+            targets = dataset.labels if targets is None else targets
+        else:
+            views = np.asarray(dataset)
+
+        num_samples = len(views)
+        num_exits = self.model.num_exits
+        predictions = np.zeros(num_samples, dtype=np.int64)
+        exit_indices = np.zeros(num_samples, dtype=np.int64)
+        entropies = np.zeros(num_samples, dtype=np.float64)
+        exit_predictions: Dict[str, List[np.ndarray]] = {
+            name: [] for name in self.model.exit_names
+        }
+
+        self.model.eval()
+        with no_grad():
+            for start in range(0, num_samples, self.batch_size):
+                stop = min(start + self.batch_size, num_samples)
+                output = self.model(views[start:stop])
+                batch = stop - start
+                assigned = np.zeros(batch, dtype=bool)
+                for exit_index, (name, logits) in enumerate(
+                    zip(output.exit_names, output.exit_logits)
+                ):
+                    decision = self.criteria[exit_index].evaluate(logits)
+                    exit_predictions[name].append(decision.predictions)
+                    take = decision.exit_mask & ~assigned
+                    if exit_index == num_exits - 1:
+                        take = ~assigned
+                    rows = np.flatnonzero(take) + start
+                    predictions[rows] = decision.predictions[take]
+                    exit_indices[rows] = exit_index
+                    entropies[rows] = decision.entropies[take]
+                    assigned |= take
+
+        return InferenceResult(
+            predictions=predictions,
+            exit_indices=exit_indices,
+            exit_names=list(self.model.exit_names),
+            entropies=entropies,
+            exit_predictions={
+                name: np.concatenate(chunks) for name, chunks in exit_predictions.items()
+            },
+            targets=None if targets is None else np.asarray(targets),
+        )
+
+    # ------------------------------------------------------------------ #
+    def communication_bytes(self, result: InferenceResult) -> float:
+        """Average per-device communication per sample implied by a result."""
+        return self.communication.per_device_bytes(result.local_exit_fraction)
+
+    def communication_reduction(self, result: InferenceResult) -> float:
+        """Reduction factor versus offloading raw sensor input to the cloud."""
+        return self.communication.reduction_factor(result.local_exit_fraction)
+
+
+def staged_inference(
+    model: DDNN,
+    dataset: MVMCDataset,
+    thresholds: Union[float, Sequence[float]],
+    batch_size: int = 64,
+) -> InferenceResult:
+    """One-call helper: build an engine, run it on the dataset, return the result."""
+    engine = StagedInferenceEngine(model, thresholds, batch_size=batch_size)
+    return engine.run(dataset)

@@ -1,0 +1,103 @@
+"""Entropy-threshold selection (paper Section III-D and IV-D).
+
+The paper picks the local-exit threshold ``T`` by sweeping candidate values
+on a validation set and choosing the one with the best overall accuracy; when
+several thresholds tie, the one that exits the most samples locally (i.e. the
+cheapest in communication) is preferred.  A variant used in Section IV-F
+instead chooses the threshold whose local-exit rate is closest to a target
+fraction (about 75% in the paper's Figure 9 experiment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..datasets.mvmc import MVMCDataset
+from .ddnn import DDNN
+from .inference import StagedInferenceEngine
+
+__all__ = ["ThresholdCandidate", "ThresholdSearchResult", "search_threshold", "threshold_for_exit_rate"]
+
+DEFAULT_GRID = tuple(np.round(np.arange(0.0, 1.0001, 0.05), 4))
+
+
+@dataclass
+class ThresholdCandidate:
+    """Metrics observed for one candidate threshold."""
+
+    threshold: float
+    overall_accuracy: float
+    local_exit_fraction: float
+    communication_bytes: float
+
+
+@dataclass
+class ThresholdSearchResult:
+    """Outcome of a threshold sweep."""
+
+    best: ThresholdCandidate
+    candidates: List[ThresholdCandidate]
+
+    @property
+    def best_threshold(self) -> float:
+        return self.best.threshold
+
+
+def _evaluate_candidates(
+    model: DDNN,
+    dataset: MVMCDataset,
+    grid: Sequence[float],
+    batch_size: int = 64,
+) -> List[ThresholdCandidate]:
+    candidates = []
+    for threshold in grid:
+        engine = StagedInferenceEngine(model, float(threshold), batch_size=batch_size)
+        result = engine.run(dataset)
+        candidates.append(
+            ThresholdCandidate(
+                threshold=float(threshold),
+                overall_accuracy=result.overall_accuracy(dataset.labels),
+                local_exit_fraction=result.local_exit_fraction,
+                communication_bytes=engine.communication_bytes(result),
+            )
+        )
+    return candidates
+
+
+def search_threshold(
+    model: DDNN,
+    validation_set: MVMCDataset,
+    grid: Optional[Sequence[float]] = None,
+    batch_size: int = 64,
+) -> ThresholdSearchResult:
+    """Pick the threshold with the best overall accuracy on a validation set.
+
+    Ties are resolved in favour of the largest local-exit fraction, which
+    minimises communication at equal accuracy.
+    """
+    grid = DEFAULT_GRID if grid is None else grid
+    candidates = _evaluate_candidates(model, validation_set, grid, batch_size=batch_size)
+    best = max(candidates, key=lambda c: (c.overall_accuracy, c.local_exit_fraction))
+    return ThresholdSearchResult(best=best, candidates=candidates)
+
+
+def threshold_for_exit_rate(
+    model: DDNN,
+    validation_set: MVMCDataset,
+    target_fraction: float,
+    grid: Optional[Sequence[float]] = None,
+    batch_size: int = 64,
+) -> ThresholdSearchResult:
+    """Pick the threshold whose local-exit rate is closest to ``target_fraction``."""
+    if not 0.0 <= target_fraction <= 1.0:
+        raise ValueError("target_fraction must be in [0, 1]")
+    grid = DEFAULT_GRID if grid is None else grid
+    candidates = _evaluate_candidates(model, validation_set, grid, batch_size=batch_size)
+    best = min(
+        candidates,
+        key=lambda c: (abs(c.local_exit_fraction - target_fraction), -c.overall_accuracy),
+    )
+    return ThresholdSearchResult(best=best, candidates=candidates)

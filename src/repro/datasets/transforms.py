@@ -1,0 +1,75 @@
+"""Input transforms applied before feeding images to the DDNN."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["normalize", "denormalize", "random_flip", "add_gaussian_noise", "Standardizer"]
+
+
+def normalize(images: np.ndarray, mean: float = 0.5, std: float = 0.5) -> np.ndarray:
+    """Shift/scale images from [0, 1] into roughly [-1, 1]."""
+    return (np.asarray(images, dtype=np.float64) - mean) / std
+
+
+def denormalize(images: np.ndarray, mean: float = 0.5, std: float = 0.5) -> np.ndarray:
+    """Inverse of :func:`normalize`."""
+    return np.asarray(images, dtype=np.float64) * std + mean
+
+
+def random_flip(
+    images: np.ndarray, rng: np.random.Generator, probability: float = 0.5
+) -> np.ndarray:
+    """Randomly mirror each sample horizontally (per-sample decision).
+
+    ``images`` may have shape ``(N, C, H, W)`` or ``(N, D, C, H, W)``; the
+    flip is applied consistently across all device views of a sample so the
+    multi-view geometry stays coherent.
+    """
+    images = np.asarray(images)
+    flip_mask = rng.random(len(images)) < probability
+    output = images.copy()
+    output[flip_mask] = output[flip_mask][..., ::-1]
+    return output
+
+
+def add_gaussian_noise(
+    images: np.ndarray, rng: np.random.Generator, std: float = 0.02
+) -> np.ndarray:
+    """Add small Gaussian noise (simple train-time augmentation)."""
+    images = np.asarray(images, dtype=np.float64)
+    return images + rng.normal(0.0, std, size=images.shape)
+
+
+class Standardizer:
+    """Per-channel standardisation fit on the training set.
+
+    This is the classic substitute for dataset-wide mean/std normalisation;
+    fitting on train data and applying to test data avoids leakage.
+    """
+
+    def __init__(self) -> None:
+        self.mean: Optional[np.ndarray] = None
+        self.std: Optional[np.ndarray] = None
+
+    def fit(self, images: np.ndarray) -> "Standardizer":
+        images = np.asarray(images, dtype=np.float64)
+        channel_axis = images.ndim - 3
+        reduce_axes = tuple(i for i in range(images.ndim) if i != channel_axis)
+        self.mean = images.mean(axis=reduce_axes)
+        self.std = images.std(axis=reduce_axes) + 1e-8
+        return self
+
+    def transform(self, images: np.ndarray) -> np.ndarray:
+        if self.mean is None or self.std is None:
+            raise RuntimeError("Standardizer must be fit before transform")
+        images = np.asarray(images, dtype=np.float64)
+        channel_axis = images.ndim - 3
+        shape = [1] * images.ndim
+        shape[channel_axis] = -1
+        return (images - self.mean.reshape(shape)) / self.std.reshape(shape)
+
+    def fit_transform(self, images: np.ndarray) -> np.ndarray:
+        return self.fit(images).transform(images)

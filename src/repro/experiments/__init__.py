@@ -1,0 +1,75 @@
+"""``repro.experiments`` — one module per table/figure of the paper.
+
+Each ``run_*`` function returns an
+:class:`~repro.experiments.results.ExperimentResult` whose rows mirror the
+paper's table/figure; ``EXPERIMENT_REGISTRY`` maps experiment ids to the
+functions so the benchmark harness and ``examples/`` scripts can enumerate
+them.
+"""
+
+from typing import Callable, Dict
+
+from .aggregation_table import PAPER_TABLE1_ORDER, run_aggregation_table
+from .cloud_offloading import DEFAULT_FILTER_SWEEP, run_cloud_offloading
+from .communication_reduction import run_communication_reduction
+from .dataset_stats import run_dataset_stats
+from .edge_hierarchy import run_edge_hierarchy
+from .fault_tolerance import run_fault_tolerance, run_multi_device_failures
+from .mixed_precision import run_mixed_precision
+from .results import ExperimentResult, format_table
+from .runner import (
+    ExperimentScale,
+    ci_scale,
+    clear_cache,
+    default_scale,
+    get_dataset,
+    get_trained_ddnn,
+    paper_scale,
+    train_fresh_ddnn,
+)
+from .scaling_devices import compute_individual_accuracies, run_scaling_devices
+from .threshold_sweep import PAPER_TABLE2_THRESHOLDS, run_threshold_sweep
+from .weight_ablation import run_weight_ablation
+
+#: Experiment id -> callable producing its ExperimentResult.
+EXPERIMENT_REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
+    "fig6_dataset_stats": run_dataset_stats,
+    "table1_aggregation": run_aggregation_table,
+    "table2_fig7_threshold_sweep": run_threshold_sweep,
+    "fig8_scaling_devices": run_scaling_devices,
+    "fig9_cloud_offloading": run_cloud_offloading,
+    "fig10_fault_tolerance": run_fault_tolerance,
+    "sec4h_communication_reduction": run_communication_reduction,
+    "ablation_exit_weights": run_weight_ablation,
+    "ext_edge_hierarchy": run_edge_hierarchy,
+    "ext_mixed_precision": run_mixed_precision,
+}
+
+__all__ = [
+    "ExperimentResult",
+    "format_table",
+    "ExperimentScale",
+    "ci_scale",
+    "paper_scale",
+    "default_scale",
+    "get_dataset",
+    "get_trained_ddnn",
+    "train_fresh_ddnn",
+    "clear_cache",
+    "run_dataset_stats",
+    "run_aggregation_table",
+    "PAPER_TABLE1_ORDER",
+    "run_threshold_sweep",
+    "PAPER_TABLE2_THRESHOLDS",
+    "run_scaling_devices",
+    "compute_individual_accuracies",
+    "run_cloud_offloading",
+    "DEFAULT_FILTER_SWEEP",
+    "run_fault_tolerance",
+    "run_multi_device_failures",
+    "run_communication_reduction",
+    "run_weight_ablation",
+    "run_edge_hierarchy",
+    "run_mixed_precision",
+    "EXPERIMENT_REGISTRY",
+]

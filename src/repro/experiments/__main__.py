@@ -1,0 +1,7 @@
+"""Allow ``python -m repro.experiments`` to invoke the experiment CLI."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,61 @@
+"""Experiment E2 — accuracy of aggregation schemes (paper Table I).
+
+Nine DDNNs are trained, one per (local, cloud) aggregation scheme pair drawn
+from {MP, AP, CC}^2, and the accuracy of the local and cloud exit points is
+measured on the full test set (every sample classified at that exit), exactly
+as in the paper's Table I.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Optional, Sequence, Tuple
+
+from ..core.accuracy import evaluate_exit_accuracies
+from .results import ExperimentResult
+from .runner import ExperimentScale, default_scale, get_dataset, get_trained_ddnn
+
+__all__ = ["run_aggregation_table", "PAPER_TABLE1_ORDER"]
+
+#: Scheme order used in the paper's Table I.
+PAPER_TABLE1_ORDER: Tuple[str, ...] = (
+    "MP-MP",
+    "MP-CC",
+    "AP-AP",
+    "AP-CC",
+    "CC-CC",
+    "AP-MP",
+    "MP-AP",
+    "CC-MP",
+    "CC-AP",
+)
+
+
+def run_aggregation_table(
+    scale: Optional[ExperimentScale] = None,
+    schemes: Optional[Sequence[str]] = None,
+) -> ExperimentResult:
+    """Train one DDNN per aggregation-scheme pair and report exit accuracies."""
+    scale = scale if scale is not None else default_scale()
+    schemes = tuple(schemes) if schemes is not None else PAPER_TABLE1_ORDER
+    _, test_set = get_dataset(scale)
+
+    result = ExperimentResult(
+        name="table1_aggregation",
+        paper_reference="Table I",
+        columns=["scheme", "local_accuracy_pct", "cloud_accuracy_pct"],
+        metadata={"scale": scale.name, "schemes": list(schemes)},
+    )
+    for scheme in schemes:
+        local_scheme, cloud_scheme = scheme.split("-")
+        config = scale.ddnn_config(
+            local_aggregation=local_scheme, cloud_aggregation=cloud_scheme
+        )
+        model, _ = get_trained_ddnn(scale, config=config)
+        accuracies = evaluate_exit_accuracies(model, test_set)
+        result.add_row(
+            scheme=scheme,
+            local_accuracy_pct=100.0 * accuracies["local"],
+            cloud_accuracy_pct=100.0 * accuracies["cloud"],
+        )
+    return result

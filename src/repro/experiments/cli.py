@@ -1,0 +1,93 @@
+"""Command-line entry point for regenerating the paper's tables and figures.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments run table2_fig7_threshold_sweep --scale ci
+    python -m repro.experiments run all --scale paper --output-dir results/
+
+Each experiment prints its table (the same rows the paper reports) and can
+optionally write it to a text file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from . import EXPERIMENT_REGISTRY
+from .runner import ci_scale, paper_scale
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the DDNN paper's tables and figures.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiments")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment (or 'all')")
+    run_parser.add_argument(
+        "experiment",
+        help="experiment id from 'list', or 'all'",
+    )
+    run_parser.add_argument(
+        "--scale",
+        choices=("ci", "paper"),
+        default="ci",
+        help="experiment scale: 'ci' (fast, default) or 'paper' (680/171 samples, 100 epochs)",
+    )
+    run_parser.add_argument(
+        "--output-dir",
+        type=Path,
+        default=None,
+        help="directory to write each experiment's table as <name>.txt",
+    )
+    return parser
+
+
+def _run_one(name: str, scale, output_dir: Optional[Path]) -> None:
+    runner = EXPERIMENT_REGISTRY[name]
+    result = runner(scale)
+    text = result.to_text()
+    print(text)
+    print()
+    if output_dir is not None:
+        output_dir.mkdir(parents=True, exist_ok=True)
+        (output_dir / f"{result.name}.txt").write_text(text + "\n")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for name in EXPERIMENT_REGISTRY:
+            print(name)
+        return 0
+
+    scale = paper_scale() if args.scale == "paper" else ci_scale()
+    if args.experiment == "all":
+        names: List[str] = list(EXPERIMENT_REGISTRY)
+    elif args.experiment in EXPERIMENT_REGISTRY:
+        names = [args.experiment]
+    else:
+        parser.error(
+            f"unknown experiment '{args.experiment}'; run 'list' to see the available ids"
+        )
+        return 2  # unreachable, parser.error raises SystemExit
+
+    for name in names:
+        _run_one(name, scale, args.output_dir)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,80 @@
+"""Experiment E7 — communication reduction vs raw offloading (paper Sec. IV-H).
+
+The paper compares the DDNN's average per-sample communication (Eq. 1 at the
+chosen threshold) against offloading the raw 32x32 RGB image (3072 bytes) and
+reports an over-20x reduction.  This experiment reproduces that comparison
+and also reports the cloud-only baseline's accuracy so the trade-off is
+visible: the DDNN keeps (or improves) accuracy while transmitting a small
+fraction of the bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..baselines.cloud_only import CloudOnlyBaseline
+from ..core.communication import CommunicationModel, raw_offload_bytes
+from ..core.inference import StagedInferenceEngine
+from .results import ExperimentResult
+from .runner import ExperimentScale, default_scale, get_dataset, get_trained_ddnn
+
+__all__ = ["run_communication_reduction"]
+
+
+def run_communication_reduction(
+    scale: Optional[ExperimentScale] = None,
+    threshold: float = 0.8,
+    include_cloud_baseline: bool = True,
+) -> ExperimentResult:
+    """DDNN bytes/sample and reduction factor vs the raw-offload baseline."""
+    scale = scale if scale is not None else default_scale()
+    train_set, test_set = get_dataset(scale)
+    model, _ = get_trained_ddnn(scale)
+
+    engine = StagedInferenceEngine(model, threshold)
+    staged = engine.run(test_set)
+    ddnn_bytes = engine.communication_bytes(staged)
+    raw_bytes = raw_offload_bytes(model.config.input_channels, model.config.input_size)
+
+    result = ExperimentResult(
+        name="sec4h_communication_reduction",
+        paper_reference="Section IV-H",
+        columns=[
+            "system",
+            "bytes_per_sample",
+            "overall_accuracy_pct",
+            "local_exit_pct",
+            "reduction_factor",
+        ],
+        metadata={"scale": scale.name, "threshold": threshold},
+    )
+    result.add_row(
+        system="ddnn",
+        bytes_per_sample=ddnn_bytes,
+        overall_accuracy_pct=100.0 * staged.overall_accuracy(test_set.labels),
+        local_exit_pct=100.0 * staged.local_exit_fraction,
+        reduction_factor=raw_bytes / ddnn_bytes,
+    )
+
+    if include_cloud_baseline:
+        baseline = CloudOnlyBaseline(
+            num_devices=model.config.num_devices,
+            num_classes=model.config.num_classes,
+            input_channels=model.config.input_channels,
+            input_size=model.config.input_size,
+            device_filters=model.config.device_filters,
+            cloud_filters=model.config.cloud_filters,
+            cloud_conv_blocks=model.config.cloud_conv_blocks,
+            cloud_hidden_units=model.config.cloud_hidden_units,
+            seed=model.config.seed,
+        )
+        baseline.fit(train_set, scale.training_config())
+        evaluation = baseline.evaluate(test_set)
+        result.add_row(
+            system="cloud_offload_raw",
+            bytes_per_sample=evaluation.bytes_per_device_per_sample,
+            overall_accuracy_pct=100.0 * evaluation.accuracy,
+            local_exit_pct=0.0,
+            reduction_factor=1.0,
+        )
+    return result

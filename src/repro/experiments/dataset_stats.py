@@ -1,0 +1,41 @@
+"""Experiment E1 — class distribution per device (paper Figure 6)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..datasets.mvmc import class_distribution_per_device
+from ..datasets.shapes import CLASS_NAMES
+from .results import ExperimentResult
+from .runner import ExperimentScale, default_scale, get_dataset
+
+__all__ = ["run_dataset_stats"]
+
+
+def run_dataset_stats(scale: Optional[ExperimentScale] = None) -> ExperimentResult:
+    """Count person / bus / car / not-present samples per device (Fig. 6).
+
+    The paper's figure shows the training-split distribution; this experiment
+    reports both splits' training portion, which is what the joint training
+    actually sees.
+    """
+    scale = scale if scale is not None else default_scale()
+    train_set, _ = get_dataset(scale)
+    distribution = class_distribution_per_device(train_set)
+
+    result = ExperimentResult(
+        name="fig6_dataset_stats",
+        paper_reference="Figure 6",
+        columns=["device", *CLASS_NAMES, "not-present", "total"],
+        metadata={"scale": scale.name, "train_samples": len(train_set)},
+    )
+    for device_index in range(train_set.num_devices):
+        counts = {name: int(distribution[name][device_index]) for name in CLASS_NAMES}
+        not_present = int(distribution["not-present"][device_index])
+        result.add_row(
+            device=device_index + 1,
+            **counts,
+            **{"not-present": not_present},
+            total=sum(counts.values()) + not_present,
+        )
+    return result

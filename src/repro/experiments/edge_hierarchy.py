@@ -1,0 +1,72 @@
+"""Experiment E9a — three-tier device/edge/cloud configurations (paper Sec. V).
+
+The paper's evaluation uses configuration (c) of Figure 2 (devices + cloud)
+and notes that the system "can be generalized to a more elaborated structure
+which includes an edge layer" ((d), (e), (f)).  This extension experiment
+trains those topologies and reports every exit's accuracy plus the staged
+(overall) accuracy, demonstrating vertical scaling across three tiers and
+horizontal scaling across multiple edges.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from ..core.accuracy import evaluate_exit_accuracies
+from ..core.config import DDNNTopology
+from ..core.inference import StagedInferenceEngine
+from .results import ExperimentResult
+from .runner import ExperimentScale, default_scale, get_dataset, get_trained_ddnn
+
+__all__ = ["run_edge_hierarchy", "DEFAULT_TOPOLOGIES"]
+
+#: (figure label, topology name, number of edges) combinations evaluated.
+DEFAULT_TOPOLOGIES: Tuple[Tuple[str, str, int], ...] = (
+    ("(c) devices + cloud", "devices_cloud", 0),
+    ("(e) devices + edge + cloud", "devices_edge_cloud", 1),
+    ("(f) devices + 2 edges + cloud", "devices_edges_cloud", 2),
+)
+
+
+def run_edge_hierarchy(
+    scale: Optional[ExperimentScale] = None,
+    topologies: Optional[Sequence[Tuple[str, str, int]]] = None,
+    thresholds: Tuple[float, float] = (0.8, 0.8),
+) -> ExperimentResult:
+    """Train DDNNs for device-edge-cloud topologies and compare exits."""
+    scale = scale if scale is not None else default_scale()
+    topologies = tuple(topologies) if topologies is not None else DEFAULT_TOPOLOGIES
+    _, test_set = get_dataset(scale)
+
+    result = ExperimentResult(
+        name="ext_edge_hierarchy",
+        paper_reference="Figure 2 (d)-(f) / Section V",
+        columns=[
+            "configuration",
+            "local_accuracy_pct",
+            "edge_accuracy_pct",
+            "cloud_accuracy_pct",
+            "overall_accuracy_pct",
+            "local_exit_pct",
+            "edge_exit_pct",
+        ],
+        metadata={"scale": scale.name, "thresholds": list(thresholds)},
+    )
+    for label, topology_name, num_edges in topologies:
+        config = scale.ddnn_config(
+            topology=DDNNTopology.from_name(topology_name, num_edges=max(num_edges, 1))
+        )
+        model, _ = get_trained_ddnn(scale, config=config)
+        accuracies = evaluate_exit_accuracies(model, test_set)
+        exit_thresholds = list(thresholds[: model.num_exits - 1])
+        staged = StagedInferenceEngine(model, exit_thresholds).run(test_set)
+        result.add_row(
+            configuration=label,
+            local_accuracy_pct=100.0 * accuracies.get("local", float("nan")),
+            edge_accuracy_pct=100.0 * accuracies.get("edge", float("nan")),
+            cloud_accuracy_pct=100.0 * accuracies.get("cloud", float("nan")),
+            overall_accuracy_pct=100.0 * staged.overall_accuracy(test_set.labels),
+            local_exit_pct=100.0 * staged.exit_fraction("local") if "local" in model.exit_names else 0.0,
+            edge_exit_pct=100.0 * staged.exit_fraction("edge") if "edge" in model.exit_names else 0.0,
+        )
+    return result

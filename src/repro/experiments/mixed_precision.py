@@ -1,0 +1,53 @@
+"""Experiment E9b — mixed-precision cloud (paper Section VI, future work).
+
+The paper keeps every NN layer binary but observes that binary layers are
+only *required* on the end devices; the cloud could use floating-point
+layers.  This extension trains the same MP-CC architecture twice — once with
+a binary cloud section and once with a float (standard) cloud section — and
+compares the exit accuracies, reproducing the mixed-precision scheme the
+authors propose as future work.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.accuracy import evaluate_exit_accuracies
+from ..core.inference import StagedInferenceEngine
+from .results import ExperimentResult
+from .runner import ExperimentScale, default_scale, get_dataset, get_trained_ddnn
+
+__all__ = ["run_mixed_precision"]
+
+
+def run_mixed_precision(
+    scale: Optional[ExperimentScale] = None,
+    threshold: float = 0.8,
+) -> ExperimentResult:
+    """Binary cloud vs floating-point cloud with binary end devices."""
+    scale = scale if scale is not None else default_scale()
+    _, test_set = get_dataset(scale)
+
+    result = ExperimentResult(
+        name="ext_mixed_precision",
+        paper_reference="Section VI (mixed precision)",
+        columns=[
+            "cloud_precision",
+            "local_accuracy_pct",
+            "cloud_accuracy_pct",
+            "overall_accuracy_pct",
+        ],
+        metadata={"scale": scale.name, "threshold": threshold},
+    )
+    for label, binary_cloud in (("binary", True), ("float", False)):
+        config = scale.ddnn_config(binary_cloud=binary_cloud)
+        model, _ = get_trained_ddnn(scale, config=config)
+        accuracies = evaluate_exit_accuracies(model, test_set)
+        staged = StagedInferenceEngine(model, threshold).run(test_set)
+        result.add_row(
+            cloud_precision=label,
+            local_accuracy_pct=100.0 * accuracies["local"],
+            cloud_accuracy_pct=100.0 * accuracies["cloud"],
+            overall_accuracy_pct=100.0 * staged.overall_accuracy(test_set.labels),
+        )
+    return result

@@ -1,0 +1,78 @@
+"""Result containers and plain-text table rendering for the experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["ExperimentResult", "format_table"]
+
+
+@dataclass
+class ExperimentResult:
+    """Rows produced by one experiment (one table or figure of the paper).
+
+    Attributes
+    ----------
+    name:
+        Experiment identifier, e.g. ``"table1_aggregation"``.
+    paper_reference:
+        The table/figure of the paper this reproduces, e.g. ``"Table I"``.
+    columns:
+        Ordered column names.
+    rows:
+        One dictionary per row; keys are column names.
+    metadata:
+        Anything else worth recording (scale, thresholds, seeds, ...).
+    """
+
+    name: str
+    paper_reference: str
+    columns: List[str]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def add_row(self, **values: Any) -> None:
+        """Append a row; values outside ``columns`` are rejected."""
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise KeyError(f"unknown columns {sorted(unknown)}; expected {self.columns}")
+        self.rows.append(values)
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column, in row order."""
+        if name not in self.columns:
+            raise KeyError(f"unknown column '{name}'")
+        return [row.get(name) for row in self.rows]
+
+    def to_text(self) -> str:
+        """Render as an aligned plain-text table (paper-style)."""
+        return format_table(self.columns, self.rows, title=f"{self.paper_reference} — {self.name}")
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(
+    columns: Sequence[str],
+    rows: Sequence[Dict[str, Any]],
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as a fixed-width text table."""
+    rendered_rows = [[_format_value(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), *(len(r[i]) for r in rendered_rows)) if rendered_rows else len(str(column))
+        for i, column in enumerate(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(column).ljust(width) for column, width in zip(columns, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rendered_rows:
+        lines.append("  ".join(value.ljust(width) for value, width in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,54 @@
+"""Experiment E3 — exit-threshold sweep (paper Table II and Figure 7).
+
+A single MP-CC DDNN is trained and the local-exit entropy threshold ``T`` is
+swept; for each value the experiment reports the fraction of samples exited
+locally, the overall accuracy and the average per-device communication cost
+of Eq. 1 — the three columns of the paper's Table II (Figure 7 plots the
+same sweep).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.inference import StagedInferenceEngine
+from .results import ExperimentResult
+from .runner import ExperimentScale, default_scale, get_dataset, get_trained_ddnn
+
+__all__ = ["run_threshold_sweep", "PAPER_TABLE2_THRESHOLDS"]
+
+#: Threshold values reported in the paper's Table II.
+PAPER_TABLE2_THRESHOLDS = (0.1, 0.3, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+
+def run_threshold_sweep(
+    scale: Optional[ExperimentScale] = None,
+    thresholds: Optional[Sequence[float]] = None,
+) -> ExperimentResult:
+    """Sweep the local exit threshold of a trained MP-CC DDNN."""
+    scale = scale if scale is not None else default_scale()
+    thresholds = tuple(thresholds) if thresholds is not None else PAPER_TABLE2_THRESHOLDS
+    _, test_set = get_dataset(scale)
+    model, _ = get_trained_ddnn(scale)
+
+    result = ExperimentResult(
+        name="table2_fig7_threshold_sweep",
+        paper_reference="Table II / Figure 7",
+        columns=[
+            "threshold",
+            "local_exit_pct",
+            "overall_accuracy_pct",
+            "communication_bytes",
+        ],
+        metadata={"scale": scale.name, "scheme": model.config.scheme},
+    )
+    for threshold in thresholds:
+        engine = StagedInferenceEngine(model, float(threshold))
+        inference = engine.run(test_set)
+        result.add_row(
+            threshold=float(threshold),
+            local_exit_pct=100.0 * inference.local_exit_fraction,
+            overall_accuracy_pct=100.0 * inference.overall_accuracy(test_set.labels),
+            communication_bytes=engine.communication_bytes(inference),
+        )
+    return result

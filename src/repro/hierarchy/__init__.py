@@ -1,0 +1,67 @@
+"""``repro.hierarchy`` — distributed computing hierarchy simulator.
+
+The simulator substitutes for the physical deployment used by the paper
+(end devices, edge gateways and cloud servers connected by a
+bandwidth-constrained wireless network).  It provides:
+
+* compute nodes (:class:`EndDeviceNode`, :class:`EdgeComputeNode`,
+  :class:`CloudComputeNode`, :class:`AggregatorNode`) holding the DDNN
+  sections mapped onto them;
+* a :class:`NetworkFabric` of links with byte and latency accounting;
+* :func:`partition_ddnn` to map a trained DDNN onto nodes and links;
+* :class:`HierarchyRuntime` which executes the paper's staged inference
+  procedure over the simulated deployment;
+* fault injection (:class:`FaultPlan`) and per-sample telemetry.
+"""
+
+from .faults import FaultPlan, random_failures, single_device_failures
+from .network import LinkStats, Message, NetworkFabric, NetworkLink
+from .node import (
+    AggregatorNode,
+    CloudComputeNode,
+    ComputeNode,
+    EdgeComputeNode,
+    EndDeviceNode,
+    NodeStats,
+)
+from .partition import (
+    CLOUD_NAME,
+    DEFAULT_EDGE_LINK,
+    DEFAULT_LOCAL_LINK,
+    DEFAULT_UPLINK,
+    LOCAL_AGGREGATOR_NAME,
+    HierarchyDeployment,
+    LinkSpec,
+    partition_ddnn,
+)
+from .runtime import DistributedInferenceResult, HierarchyRuntime
+from .telemetry import SampleTrace, Telemetry, TelemetrySummary
+
+__all__ = [
+    "Message",
+    "NetworkLink",
+    "NetworkFabric",
+    "LinkStats",
+    "ComputeNode",
+    "EndDeviceNode",
+    "EdgeComputeNode",
+    "CloudComputeNode",
+    "AggregatorNode",
+    "NodeStats",
+    "LinkSpec",
+    "HierarchyDeployment",
+    "partition_ddnn",
+    "LOCAL_AGGREGATOR_NAME",
+    "CLOUD_NAME",
+    "DEFAULT_LOCAL_LINK",
+    "DEFAULT_UPLINK",
+    "DEFAULT_EDGE_LINK",
+    "HierarchyRuntime",
+    "DistributedInferenceResult",
+    "FaultPlan",
+    "single_device_failures",
+    "random_failures",
+    "SampleTrace",
+    "Telemetry",
+    "TelemetrySummary",
+]

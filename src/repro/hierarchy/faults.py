@@ -1,0 +1,94 @@
+"""Fault injection for the hierarchy simulator (paper Section IV-G).
+
+The paper studies fault tolerance by removing end devices and measuring the
+accuracy of the remaining system.  Two ways of modelling a dead device are
+provided, matching the two places failures can be applied:
+
+* **dataset-level** — :meth:`repro.datasets.MVMCDataset.with_failed_devices`
+  replaces the device's views with blank frames, which is what the trained
+  network sees for "object not present" and is the modelling used for the
+  accuracy numbers (Fig. 10);
+* **runtime-level** — :class:`FaultPlan` marks simulator nodes as failed so
+  they stop transmitting, which exercises the distributed runtime's handling
+  of missing inputs (zero contribution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+import numpy as np
+
+__all__ = ["FaultPlan", "single_device_failures", "random_failures"]
+
+
+@dataclass
+class FaultPlan:
+    """Which nodes fail, and (optionally) when.
+
+    Attributes
+    ----------
+    failed_devices:
+        Indices of end devices that are offline for the whole run.
+    failed_edges:
+        Indices of edge nodes that are offline for the whole run.
+    intermittent:
+        Mapping from device index to the probability that the device fails to
+        deliver a given sample (models a flaky wireless link rather than a
+        dead camera).
+    seed:
+        Seed for sampling intermittent failures.
+    """
+
+    failed_devices: Set[int] = field(default_factory=set)
+    failed_edges: Set[int] = field(default_factory=set)
+    intermittent: Dict[int, float] = field(default_factory=dict)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self.failed_devices = set(int(i) for i in self.failed_devices)
+        self.failed_edges = set(int(i) for i in self.failed_edges)
+        for device, probability in self.intermittent.items():
+            if not 0.0 <= probability <= 1.0:
+                raise ValueError(
+                    f"intermittent failure probability for device {device} "
+                    f"must be in [0, 1], got {probability}"
+                )
+        self._rng = np.random.default_rng(self.seed)
+
+    def device_is_down(self, device_index: int) -> bool:
+        """True if a device is permanently failed."""
+        return device_index in self.failed_devices
+
+    def edge_is_down(self, edge_index: int) -> bool:
+        """True if an edge node is permanently failed."""
+        return edge_index in self.failed_edges
+
+    def sample_delivery(self, device_index: int) -> bool:
+        """Draw whether a device delivers the current sample."""
+        if self.device_is_down(device_index):
+            return False
+        probability = self.intermittent.get(device_index, 0.0)
+        if probability <= 0.0:
+            return True
+        return bool(self._rng.random() >= probability)
+
+    def is_empty(self) -> bool:
+        return not self.failed_devices and not self.failed_edges and not self.intermittent
+
+
+def single_device_failures(num_devices: int) -> List[FaultPlan]:
+    """One fault plan per device, each failing exactly that device (Fig. 10)."""
+    return [FaultPlan(failed_devices={index}) for index in range(num_devices)]
+
+
+def random_failures(
+    num_devices: int, num_failed: int, seed: int = 0
+) -> FaultPlan:
+    """A fault plan with ``num_failed`` devices chosen uniformly at random."""
+    if not 0 <= num_failed <= num_devices:
+        raise ValueError("num_failed must be between 0 and num_devices")
+    rng = np.random.default_rng(seed)
+    failed = rng.choice(num_devices, size=num_failed, replace=False)
+    return FaultPlan(failed_devices=set(int(i) for i in failed), seed=seed)

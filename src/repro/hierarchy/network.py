@@ -1,0 +1,147 @@
+"""Network model for the distributed computing hierarchy simulator.
+
+The paper evaluates communication in *bytes transmitted per sample* (its
+Eq. 1) rather than wall-clock network timing, but a distributed deployment
+also cares about latency.  The simulator therefore models each link between
+two tiers with a bandwidth and a propagation latency, and accounts every
+message's size and transfer time.  The byte accounting is exact; the latency
+model is a simple ``latency + size / bandwidth`` cost, which is enough to
+show the response-time benefit of exiting samples locally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Message", "NetworkLink", "NetworkFabric", "LinkStats"]
+
+
+@dataclass
+class Message:
+    """A single payload sent from one node to another."""
+
+    source: str
+    destination: str
+    size_bytes: float
+    kind: str = "data"
+    sample_index: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ValueError("message size must be non-negative")
+
+
+@dataclass
+class LinkStats:
+    """Accumulated traffic statistics of one link."""
+
+    messages: int = 0
+    bytes_transferred: float = 0.0
+    transfer_seconds: float = 0.0
+
+
+@dataclass
+class NetworkLink:
+    """A directed link between two nodes of the hierarchy.
+
+    Parameters
+    ----------
+    source, destination:
+        Node names.
+    bandwidth_bytes_per_s:
+        Sustained throughput.  The default corresponds to a constrained
+        wireless uplink (250 KB/s).
+    latency_s:
+        One-way propagation latency added to every message.
+    """
+
+    source: str
+    destination: str
+    bandwidth_bytes_per_s: float = 250_000.0
+    latency_s: float = 0.01
+    stats: LinkStats = field(default_factory=LinkStats)
+
+    def transfer_time(self, size_bytes: float) -> float:
+        """Seconds needed to move ``size_bytes`` across this link."""
+        if size_bytes < 0:
+            raise ValueError("size_bytes must be non-negative")
+        return self.latency_s + size_bytes / self.bandwidth_bytes_per_s
+
+    def send(self, message: Message) -> float:
+        """Account for a message and return its transfer time in seconds."""
+        seconds = self.transfer_time(message.size_bytes)
+        self.stats.messages += 1
+        self.stats.bytes_transferred += message.size_bytes
+        self.stats.transfer_seconds += seconds
+        return seconds
+
+    def reset(self) -> None:
+        self.stats = LinkStats()
+
+
+class NetworkFabric:
+    """The set of links connecting devices, edges and the cloud."""
+
+    def __init__(self) -> None:
+        self._links: Dict[Tuple[str, str], NetworkLink] = {}
+        self.log: List[Message] = []
+
+    def add_link(self, link: NetworkLink) -> None:
+        key = (link.source, link.destination)
+        if key in self._links:
+            raise ValueError(f"duplicate link {link.source} -> {link.destination}")
+        self._links[key] = link
+
+    def connect(
+        self,
+        source: str,
+        destination: str,
+        bandwidth_bytes_per_s: float = 250_000.0,
+        latency_s: float = 0.01,
+    ) -> NetworkLink:
+        """Create and register a link, returning it."""
+        link = NetworkLink(source, destination, bandwidth_bytes_per_s, latency_s)
+        self.add_link(link)
+        return link
+
+    def link(self, source: str, destination: str) -> NetworkLink:
+        key = (source, destination)
+        if key not in self._links:
+            raise KeyError(f"no link from '{source}' to '{destination}'")
+        return self._links[key]
+
+    def has_link(self, source: str, destination: str) -> bool:
+        return (source, destination) in self._links
+
+    def send(self, message: Message, record: bool = True) -> float:
+        """Route a message over its (direct) link and return the transfer time."""
+        link = self.link(message.source, message.destination)
+        seconds = link.send(message)
+        if record:
+            self.log.append(message)
+        return seconds
+
+    # ------------------------------------------------------------------ #
+    def links(self) -> List[NetworkLink]:
+        return list(self._links.values())
+
+    def total_bytes(self) -> float:
+        """Total bytes moved over every link since the last reset."""
+        return sum(link.stats.bytes_transferred for link in self._links.values())
+
+    def total_messages(self) -> int:
+        return sum(link.stats.messages for link in self._links.values())
+
+    def bytes_from(self, source: str) -> float:
+        """Total bytes transmitted by one node (over all its outgoing links)."""
+        return sum(
+            link.stats.bytes_transferred
+            for (src, _), link in self._links.items()
+            if src == source
+        )
+
+    def reset(self) -> None:
+        for link in self._links.values():
+            link.reset()
+        self.log.clear()

@@ -1,0 +1,164 @@
+"""Mapping a trained DDNN onto simulated hierarchy nodes.
+
+The partitioning follows the paper directly: each device branch is placed on
+its own end-device node, the local aggregator runs on a gateway physically
+close to the devices, the optional edge models run on edge nodes, and the
+cloud aggregator plus cloud model run on the cloud node.  Links mirror the
+physical topology: a fast local link from devices to the gateway, a
+constrained uplink from devices (or edges) towards the cloud.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.ddnn import DDNN
+from .network import NetworkFabric
+from .node import AggregatorNode, CloudComputeNode, EdgeComputeNode, EndDeviceNode
+
+__all__ = ["LinkSpec", "HierarchyDeployment", "partition_ddnn"]
+
+LOCAL_AGGREGATOR_NAME = "local-aggregator"
+CLOUD_NAME = "cloud"
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Bandwidth / latency pair used when wiring the fabric."""
+
+    bandwidth_bytes_per_s: float
+    latency_s: float
+
+
+#: Device -> gateway: a short-range local link.
+DEFAULT_LOCAL_LINK = LinkSpec(bandwidth_bytes_per_s=1_000_000.0, latency_s=0.002)
+#: Device or edge -> cloud: a constrained wide-area uplink.
+DEFAULT_UPLINK = LinkSpec(bandwidth_bytes_per_s=250_000.0, latency_s=0.05)
+#: Device -> edge: a metropolitan link, faster than the cloud uplink.
+DEFAULT_EDGE_LINK = LinkSpec(bandwidth_bytes_per_s=500_000.0, latency_s=0.01)
+
+
+@dataclass
+class HierarchyDeployment:
+    """All simulator objects for one partitioned DDNN."""
+
+    model: DDNN
+    devices: List[EndDeviceNode]
+    local_aggregator: Optional[AggregatorNode]
+    edges: List[EdgeComputeNode]
+    cloud: CloudComputeNode
+    fabric: NetworkFabric
+
+    @property
+    def device_names(self) -> List[str]:
+        return [device.name for device in self.devices]
+
+    def node_by_name(self, name: str):
+        """Look up any node by its name."""
+        for device in self.devices:
+            if device.name == name:
+                return device
+        for edge in self.edges:
+            if edge.name == name:
+                return edge
+        if self.local_aggregator is not None and self.local_aggregator.name == name:
+            return self.local_aggregator
+        if self.cloud.name == name:
+            return self.cloud
+        raise KeyError(f"no node named '{name}'")
+
+    def reset(self) -> None:
+        """Clear all traffic and compute statistics."""
+        self.fabric.reset()
+        for device in self.devices:
+            device.reset_stats()
+            device.restore()
+        for edge in self.edges:
+            edge.reset_stats()
+            edge.restore()
+        if self.local_aggregator is not None:
+            self.local_aggregator.reset_stats()
+        self.cloud.reset_stats()
+
+
+def partition_ddnn(
+    model: DDNN,
+    local_link: LinkSpec = DEFAULT_LOCAL_LINK,
+    uplink: LinkSpec = DEFAULT_UPLINK,
+    edge_link: LinkSpec = DEFAULT_EDGE_LINK,
+    device_ops_per_second: float = 5e7,
+    edge_ops_per_second: float = 5e9,
+    cloud_ops_per_second: float = 5e10,
+) -> HierarchyDeployment:
+    """Create nodes and links for a trained DDNN.
+
+    The model is *shared*, not copied: the simulator nodes hold references to
+    the DDNN's sections, so the deployment always reflects the trained
+    parameters.
+    """
+    fabric = NetworkFabric()
+
+    devices = [
+        EndDeviceNode(f"device-{index}", branch, ops_per_second=device_ops_per_second)
+        for index, branch in enumerate(model.device_branches)
+    ]
+
+    local_aggregator = None
+    if model.has_local_exit:
+        local_aggregator = AggregatorNode(LOCAL_AGGREGATOR_NAME, model.local_aggregator)
+        for device in devices:
+            fabric.connect(
+                device.name,
+                LOCAL_AGGREGATOR_NAME,
+                bandwidth_bytes_per_s=local_link.bandwidth_bytes_per_s,
+                latency_s=local_link.latency_s,
+            )
+
+    edges: List[EdgeComputeNode] = []
+    if model.has_edge:
+        for edge_index, (aggregator, edge_model, group) in enumerate(
+            zip(model._edge_aggregators, model.edge_models, model.edge_device_groups)
+        ):
+            edge = EdgeComputeNode(
+                f"edge-{edge_index}",
+                aggregator,
+                edge_model,
+                device_indices=group,
+                ops_per_second=edge_ops_per_second,
+            )
+            edges.append(edge)
+            for device_index in group:
+                fabric.connect(
+                    devices[device_index].name,
+                    edge.name,
+                    bandwidth_bytes_per_s=edge_link.bandwidth_bytes_per_s,
+                    latency_s=edge_link.latency_s,
+                )
+            fabric.connect(
+                edge.name,
+                CLOUD_NAME,
+                bandwidth_bytes_per_s=uplink.bandwidth_bytes_per_s,
+                latency_s=uplink.latency_s,
+            )
+    else:
+        for device in devices:
+            fabric.connect(
+                device.name,
+                CLOUD_NAME,
+                bandwidth_bytes_per_s=uplink.bandwidth_bytes_per_s,
+                latency_s=uplink.latency_s,
+            )
+
+    cloud = CloudComputeNode(
+        CLOUD_NAME, model.cloud_aggregator, model.cloud, ops_per_second=cloud_ops_per_second
+    )
+
+    return HierarchyDeployment(
+        model=model,
+        devices=devices,
+        local_aggregator=local_aggregator,
+        edges=edges,
+        cloud=cloud,
+        fabric=fabric,
+    )

@@ -1,0 +1,78 @@
+"""Per-sample telemetry collected by the hierarchy runtime."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["SampleTrace", "TelemetrySummary", "Telemetry"]
+
+
+@dataclass
+class SampleTrace:
+    """What happened to a single sample during distributed inference."""
+
+    sample_index: int
+    prediction: int
+    exit_name: str
+    latency_s: float
+    bytes_transferred: float
+    entropy: float
+    correct: Optional[bool] = None
+
+
+@dataclass
+class TelemetrySummary:
+    """Aggregate view over a run's sample traces."""
+
+    num_samples: int
+    accuracy: Optional[float]
+    exit_fractions: Dict[str, float]
+    mean_latency_s: float
+    p95_latency_s: float
+    mean_bytes_per_sample: float
+    total_bytes: float
+
+
+class Telemetry:
+    """Collects :class:`SampleTrace` records and summarises them."""
+
+    def __init__(self) -> None:
+        self.traces: List[SampleTrace] = []
+
+    def record(self, trace: SampleTrace) -> None:
+        self.traces.append(trace)
+
+    def __len__(self) -> int:
+        return len(self.traces)
+
+    def summary(self) -> TelemetrySummary:
+        if not self.traces:
+            return TelemetrySummary(
+                num_samples=0,
+                accuracy=None,
+                exit_fractions={},
+                mean_latency_s=0.0,
+                p95_latency_s=0.0,
+                mean_bytes_per_sample=0.0,
+                total_bytes=0.0,
+            )
+        latencies = np.array([trace.latency_s for trace in self.traces])
+        transferred = np.array([trace.bytes_transferred for trace in self.traces])
+        exit_names = [trace.exit_name for trace in self.traces]
+        fractions = {
+            name: exit_names.count(name) / len(exit_names) for name in sorted(set(exit_names))
+        }
+        correctness = [trace.correct for trace in self.traces if trace.correct is not None]
+        accuracy = float(np.mean(correctness)) if correctness else None
+        return TelemetrySummary(
+            num_samples=len(self.traces),
+            accuracy=accuracy,
+            exit_fractions=fractions,
+            mean_latency_s=float(latencies.mean()),
+            p95_latency_s=float(np.percentile(latencies, 95)),
+            mean_bytes_per_sample=float(transferred.mean()),
+            total_bytes=float(transferred.sum()),
+        )

@@ -1,0 +1,80 @@
+"""``repro.nn`` — a self-contained NumPy deep-learning substrate.
+
+The DDNN reproduction does not depend on an external deep-learning framework.
+This package provides everything the paper's models need: a reverse-mode
+autodiff tensor, dense and convolutional layers, binary (BNN/eBNN) layers and
+fused blocks, losses, optimisers and data utilities.
+"""
+
+from . import functional
+from .binary import BinaryActivation, BinaryConv2d, BinaryLinear, binarize, binary_memory_bytes
+from .blocks import ConvPBlock, FCBlock, block_memory_bytes
+from .data import ArrayDataset, DataLoader, train_test_split
+from .layers import (
+    AvgPool2d,
+    BatchNorm1d,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    Identity,
+    Linear,
+    MaxPool2d,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from .losses import joint_exit_loss, softmax_cross_entropy
+from .metrics import accuracy, confusion_matrix, per_class_accuracy
+from .optim import SGD, Adam, Optimizer
+from .serialization import load_module, load_state, save_module, save_state
+from .tensor import Tensor, concatenate, is_grad_enabled, maximum, no_grad, stack
+
+__all__ = [
+    "functional",
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "concatenate",
+    "stack",
+    "maximum",
+    "Parameter",
+    "Module",
+    "Sequential",
+    "Identity",
+    "Linear",
+    "Conv2d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "Flatten",
+    "BinaryLinear",
+    "BinaryConv2d",
+    "BinaryActivation",
+    "binarize",
+    "binary_memory_bytes",
+    "FCBlock",
+    "ConvPBlock",
+    "block_memory_bytes",
+    "softmax_cross_entropy",
+    "joint_exit_loss",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "ArrayDataset",
+    "DataLoader",
+    "train_test_split",
+    "accuracy",
+    "confusion_matrix",
+    "per_class_accuracy",
+    "save_state",
+    "load_state",
+    "save_module",
+    "load_module",
+]

@@ -1,0 +1,120 @@
+"""Minimal dataset / data-loader utilities for the NumPy substrate."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ArrayDataset", "DataLoader", "train_test_split"]
+
+
+class ArrayDataset:
+    """A dataset backed by one or more aligned NumPy arrays.
+
+    All arrays must share the same first (sample) dimension.  Indexing
+    returns a tuple with one entry per array.
+    """
+
+    def __init__(self, *arrays: np.ndarray) -> None:
+        if not arrays:
+            raise ValueError("ArrayDataset requires at least one array")
+        lengths = {len(array) for array in arrays}
+        if len(lengths) != 1:
+            raise ValueError(f"arrays have mismatched lengths: {sorted(lengths)}")
+        self.arrays: Tuple[np.ndarray, ...] = tuple(np.asarray(a) for a in arrays)
+
+    def __len__(self) -> int:
+        return len(self.arrays[0])
+
+    def __getitem__(self, index) -> Tuple[np.ndarray, ...]:
+        return tuple(array[index] for array in self.arrays)
+
+
+class DataLoader:
+    """Iterate over a dataset in (optionally shuffled) mini-batches."""
+
+    def __init__(
+        self,
+        dataset: ArrayDataset,
+        batch_size: int = 32,
+        shuffle: bool = False,
+        drop_last: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def __len__(self) -> int:
+        full, remainder = divmod(len(self.dataset), self.batch_size)
+        if remainder and not self.drop_last:
+            return full + 1
+        return full
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, ...]]:
+        indices = np.arange(len(self.dataset))
+        if self.shuffle:
+            self.rng.shuffle(indices)
+        for start in range(0, len(indices), self.batch_size):
+            batch_indices = indices[start : start + self.batch_size]
+            if self.drop_last and len(batch_indices) < self.batch_size:
+                break
+            yield self.dataset[batch_indices]
+
+
+def train_test_split(
+    arrays: Sequence[np.ndarray],
+    test_fraction: float = 0.2,
+    seed: Optional[int] = None,
+    stratify: Optional[np.ndarray] = None,
+) -> Tuple[Tuple[np.ndarray, ...], Tuple[np.ndarray, ...]]:
+    """Split aligned arrays into train and test subsets.
+
+    Parameters
+    ----------
+    arrays:
+        Sequence of aligned arrays (same first dimension).
+    test_fraction:
+        Fraction of samples placed in the test split.
+    seed:
+        Seed for the shuffling generator.
+    stratify:
+        Optional label array; when given, each class contributes
+        proportionally to the test split.
+
+    Returns
+    -------
+    (train_arrays, test_arrays):
+        Two tuples with the same number of entries as ``arrays``.
+    """
+    if not arrays:
+        raise ValueError("train_test_split requires at least one array")
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    length = len(arrays[0])
+    rng = np.random.default_rng(seed)
+
+    if stratify is None:
+        indices = rng.permutation(length)
+        split = int(round(length * (1.0 - test_fraction)))
+        train_idx, test_idx = indices[:split], indices[split:]
+    else:
+        stratify = np.asarray(stratify)
+        train_parts, test_parts = [], []
+        for value in np.unique(stratify):
+            class_indices = np.flatnonzero(stratify == value)
+            class_indices = rng.permutation(class_indices)
+            split = int(round(len(class_indices) * (1.0 - test_fraction)))
+            train_parts.append(class_indices[:split])
+            test_parts.append(class_indices[split:])
+        train_idx = rng.permutation(np.concatenate(train_parts))
+        test_idx = rng.permutation(np.concatenate(test_parts))
+
+    train = tuple(np.asarray(a)[train_idx] for a in arrays)
+    test = tuple(np.asarray(a)[test_idx] for a in arrays)
+    return train, test

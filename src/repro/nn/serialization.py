@@ -1,0 +1,36 @@
+"""Save and load module state to ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Union
+
+import numpy as np
+
+from .layers import Module
+
+__all__ = ["save_state", "load_state", "save_module", "load_module"]
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def save_state(state: Dict[str, np.ndarray], path: PathLike) -> None:
+    """Write a flat state dictionary to ``path`` (``.npz`` format)."""
+    np.savez(path, **{key: np.asarray(value) for key, value in state.items()})
+
+
+def load_state(path: PathLike) -> Dict[str, np.ndarray]:
+    """Read a state dictionary previously written by :func:`save_state`."""
+    with np.load(path, allow_pickle=False) as archive:
+        return {key: archive[key] for key in archive.files}
+
+
+def save_module(module: Module, path: PathLike) -> None:
+    """Serialise a module's parameters and buffers."""
+    save_state(module.state_dict(), path)
+
+
+def load_module(module: Module, path: PathLike) -> Module:
+    """Restore a module's parameters and buffers in place and return it."""
+    module.load_state_dict(load_state(path))
+    return module

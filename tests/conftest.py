@@ -1,0 +1,70 @@
+"""Shared fixtures for the test suite.
+
+Training even a tiny DDNN takes a couple of seconds, so the fixtures that
+need a trained model are session-scoped and deliberately small: 4 devices,
+2 filters, a handful of epochs.  They are good enough to exercise every code
+path (multi-exit training, staged inference, the hierarchy runtime) without
+making the suite slow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DDNNConfig, DDNNTrainer, TrainingConfig, build_ddnn
+from repro.datasets import DEFAULT_DEVICE_PROFILES, load_mvmc_splits
+
+
+TINY_NUM_DEVICES = 4
+TINY_FILTERS = 2
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_splits():
+    """Small train/test MVMC splits shared across the suite."""
+    profiles = DEFAULT_DEVICE_PROFILES[:TINY_NUM_DEVICES]
+    return load_mvmc_splits(train_samples=64, test_samples=28, profiles=profiles, seed=11)
+
+
+@pytest.fixture(scope="session")
+def tiny_train(tiny_splits):
+    return tiny_splits[0]
+
+
+@pytest.fixture(scope="session")
+def tiny_test(tiny_splits):
+    return tiny_splits[1]
+
+
+@pytest.fixture(scope="session")
+def tiny_config():
+    return DDNNConfig(
+        num_devices=TINY_NUM_DEVICES,
+        device_filters=TINY_FILTERS,
+        cloud_filters=4,
+        cloud_conv_blocks=2,
+        cloud_hidden_units=16,
+        seed=3,
+    )
+
+
+@pytest.fixture(scope="session")
+def trained_ddnn(tiny_config, tiny_train):
+    """A DDNN trained for a few epochs on the tiny dataset (session-scoped)."""
+    model = build_ddnn(tiny_config)
+    trainer = DDNNTrainer(model, TrainingConfig(epochs=4, batch_size=32, seed=0))
+    trainer.fit(tiny_train)
+    model.eval()
+    return model
+
+
+@pytest.fixture()
+def untrained_ddnn(tiny_config):
+    """A freshly initialised DDNN (function-scoped, mutable in tests)."""
+    return build_ddnn(tiny_config)

@@ -1,0 +1,100 @@
+"""Tests for the individual-device and cloud-only baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CloudOnlyBaseline,
+    IndividualDeviceModel,
+    individual_accuracies,
+    train_individual_model,
+)
+from repro.core import TrainingConfig
+from repro.nn import Tensor
+
+
+class TestIndividualDeviceModel:
+    def test_forward_shape(self):
+        model = IndividualDeviceModel(filters=2, num_classes=3, seed=0)
+        logits = model(Tensor(np.random.default_rng(0).random((4, 3, 32, 32))))
+        assert logits.shape == (4, 3)
+
+    def test_predict_returns_class_indices(self):
+        model = IndividualDeviceModel(filters=2, num_classes=3, seed=0)
+        predictions = model.predict(np.random.default_rng(0).random((7, 3, 32, 32)))
+        assert predictions.shape == (7,)
+        assert set(np.unique(predictions)).issubset({0, 1, 2})
+
+    def test_predict_empty_input(self):
+        model = IndividualDeviceModel(filters=2, seed=0)
+        assert model.predict(np.zeros((0, 3, 32, 32))).shape == (0,)
+
+    def test_train_individual_excludes_absent_samples(self, tiny_train):
+        model = train_individual_model(
+            tiny_train, device_index=0, filters=2, config=TrainingConfig(epochs=1, batch_size=32)
+        )
+        assert isinstance(model, IndividualDeviceModel)
+
+    def test_training_learns_separable_views(self):
+        """On a trivially separable single-device dataset the model must learn."""
+        from repro.datasets import MVMCDataset
+
+        rng = np.random.default_rng(0)
+        num_samples = 60
+        labels = rng.integers(0, 3, size=num_samples)
+        level = np.array([0.15, 0.5, 0.85])[labels]
+        images = np.clip(
+            level[:, None, None, None, None]
+            + rng.normal(0.0, 0.02, size=(num_samples, 1, 3, 32, 32)),
+            0.0,
+            1.0,
+        )
+        dataset = MVMCDataset(images, labels, labels[:, None], profiles=("camera-1",))
+        model = train_individual_model(
+            dataset, device_index=0, filters=2, config=TrainingConfig(epochs=12, batch_size=20)
+        )
+        predictions = model.predict(dataset.device_views(0))
+        assert np.mean(predictions == labels) > 0.6
+
+    def test_individual_accuracies_selected_devices(self, tiny_train, tiny_test):
+        results = individual_accuracies(
+            tiny_train,
+            tiny_test,
+            filters=2,
+            config=TrainingConfig(epochs=2, batch_size=32),
+            device_indices=[0, 2],
+        )
+        assert set(results) == {0, 2}
+        assert all(0.0 <= value <= 1.0 for value in results.values())
+
+
+class TestCloudOnlyBaseline:
+    def test_single_exit_model(self):
+        baseline = CloudOnlyBaseline(num_devices=3, device_filters=2, cloud_filters=4, cloud_hidden_units=8)
+        assert baseline.model.exit_names == ["cloud"]
+
+    def test_fit_and_evaluate(self, tiny_train, tiny_test):
+        baseline = CloudOnlyBaseline(
+            num_devices=tiny_train.num_devices,
+            device_filters=2,
+            cloud_filters=4,
+            cloud_hidden_units=8,
+            seed=0,
+        )
+        baseline.fit(tiny_train, TrainingConfig(epochs=2, batch_size=32))
+        result = baseline.evaluate(tiny_test)
+        assert 0.0 <= result.accuracy <= 1.0
+        assert result.bytes_per_device_per_sample == 3072.0
+
+    def test_predictions_shape(self, tiny_train, tiny_test):
+        baseline = CloudOnlyBaseline(
+            num_devices=tiny_train.num_devices, device_filters=2, cloud_filters=4, cloud_hidden_units=8
+        )
+        baseline.fit(tiny_train, TrainingConfig(epochs=1, batch_size=32))
+        assert baseline.predict(tiny_test).shape == (len(tiny_test),)
+
+    def test_raw_offload_cost_scales_with_input(self):
+        baseline = CloudOnlyBaseline(num_devices=2, input_size=16, device_filters=2, cloud_filters=4, cloud_hidden_units=8)
+        assert baseline.bytes_per_device_per_sample() == 3 * 16 * 16

@@ -1,0 +1,140 @@
+"""Tests for binary layers and the fused FC / ConvP blocks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BinaryActivation,
+    BinaryConv2d,
+    BinaryLinear,
+    ConvPBlock,
+    FCBlock,
+    Tensor,
+    binarize,
+    binary_memory_bytes,
+    block_memory_bytes,
+)
+
+
+class TestBinarize:
+    def test_values_are_plus_minus_one(self):
+        out = binarize(Tensor(np.array([-3.0, -0.1, 0.0, 0.4, 7.0])))
+        np.testing.assert_allclose(out.data, [-1.0, -1.0, 1.0, 1.0, 1.0])
+
+    def test_straight_through_gradient_clipped(self):
+        x = Tensor(np.array([-2.0, -0.5, 0.5, 2.0]), requires_grad=True)
+        binarize(x).sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 1.0, 0.0])
+
+    def test_custom_clip_value(self):
+        x = Tensor(np.array([1.5]), requires_grad=True)
+        binarize(x, clip_value=2.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0])
+
+    def test_binary_activation_module(self):
+        out = BinaryActivation()(Tensor(np.array([[0.3, -0.3]])))
+        np.testing.assert_allclose(out.data, [[1.0, -1.0]])
+
+
+class TestBinaryLinear:
+    def test_forward_uses_binarized_weights(self):
+        layer = BinaryLinear(3, 2, bias=False, rng=np.random.default_rng(0))
+        x = np.random.default_rng(1).standard_normal((4, 3))
+        expected = x @ np.where(layer.weight.data >= 0, 1.0, -1.0).T
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected)
+
+    def test_latent_weights_receive_gradients(self):
+        layer = BinaryLinear(3, 2, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((2, 3))))
+        out.sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.weight.grad.shape == (2, 3)
+
+    def test_memory_accounting_one_bit_per_weight(self):
+        layer = BinaryLinear(8, 4, bias=False)
+        assert layer.memory_bytes() == 8 * 4 / 8
+        with_bias = BinaryLinear(8, 4, bias=True)
+        assert with_bias.memory_bytes() == 8 * 4 / 8 + 4 * 4
+
+
+class TestBinaryConv2d:
+    def test_forward_uses_binarized_kernel(self):
+        layer = BinaryConv2d(1, 1, kernel_size=3, padding=1, rng=np.random.default_rng(0))
+        x = np.random.default_rng(1).standard_normal((1, 1, 4, 4))
+        out = layer(Tensor(x))
+        assert out.shape == (1, 1, 4, 4)
+        # Recompute with explicit ±1 kernel.
+        import repro.nn.functional as F
+
+        binary_kernel = np.where(layer.weight.data >= 0, 1.0, -1.0)
+        expected = F.conv2d(Tensor(x), Tensor(binary_kernel), stride=1, padding=1).data
+        np.testing.assert_allclose(out.data, expected)
+
+    def test_memory_bytes(self):
+        layer = BinaryConv2d(3, 4, kernel_size=3)
+        assert layer.memory_bytes() == 3 * 4 * 9 / 8
+
+    def test_binary_memory_helper(self):
+        assert binary_memory_bytes(80, bias_count=2) == 10 + 8
+
+
+class TestFCBlock:
+    def test_binary_output_is_sign_valued(self):
+        block = FCBlock(6, 4, rng=np.random.default_rng(0))
+        out = block(Tensor(np.random.default_rng(1).standard_normal((5, 6))))
+        assert set(np.unique(out.data)).issubset({-1.0, 1.0})
+
+    def test_final_block_returns_float_scores(self):
+        block = FCBlock(6, 3, final=True, rng=np.random.default_rng(0))
+        out = block(Tensor(np.random.default_rng(1).standard_normal((5, 6))))
+        assert out.shape == (5, 3)
+        assert not set(np.unique(out.data)).issubset({-1.0, 1.0})
+
+    def test_float_variant_uses_relu(self):
+        block = FCBlock(6, 4, binary=False, rng=np.random.default_rng(0))
+        out = block(Tensor(np.random.default_rng(1).standard_normal((5, 6))))
+        assert (out.data >= 0).all()
+
+    def test_memory_is_dominated_by_binary_weights(self):
+        block = FCBlock(256, 3)
+        # 256*3 binary weights = 96 B, plus bias + batch-norm floats.
+        assert block.memory_bytes() < 256 * 3 * 4
+        assert block.memory_bytes() >= 256 * 3 / 8
+
+
+class TestConvPBlock:
+    def test_output_shape_halves_spatial_size(self):
+        block = ConvPBlock(3, 4, rng=np.random.default_rng(0))
+        out = block(Tensor(np.random.default_rng(1).standard_normal((2, 3, 32, 32))))
+        assert out.shape == (2, 4, 16, 16)
+
+    def test_output_is_binary(self):
+        block = ConvPBlock(3, 2, rng=np.random.default_rng(0))
+        out = block(Tensor(np.random.default_rng(1).standard_normal((1, 3, 16, 16))))
+        assert set(np.unique(out.data)).issubset({-1.0, 1.0})
+
+    def test_output_spatial_size_helper(self):
+        block = ConvPBlock(3, 4)
+        assert block.output_spatial_size(32) == 16
+        assert block.output_spatial_size(16) == 8
+        assert block.output_spatial_size(8) == 4
+
+    def test_float_variant(self):
+        block = ConvPBlock(3, 4, binary=False, rng=np.random.default_rng(0))
+        out = block(Tensor(np.random.default_rng(1).standard_normal((1, 3, 8, 8))))
+        assert (out.data >= 0).all()
+
+    def test_paper_device_block_fits_under_2kb(self):
+        """The paper states every end-device configuration stays below 2 KB."""
+        for filters in (1, 2, 4, 8):
+            block = ConvPBlock(3, filters)
+            fc = FCBlock(filters * 16 * 16, 3, final=True)
+            assert block.memory_bytes() + fc.memory_bytes() < 2048
+
+    def test_block_memory_counts_batch_norm_floats(self):
+        block = ConvPBlock(3, 4)
+        conv_bytes = 4 * 3 * 9 / 8
+        batch_norm_bytes = 4 * 4 * 4  # gamma, beta, running mean, running var
+        assert block_memory_bytes(block) == pytest.approx(conv_bytes + batch_norm_bytes)

@@ -1,0 +1,66 @@
+"""Tests for the communication cost model (paper Eq. 1 and Section IV-H)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CommunicationModel, DDNNConfig, ddnn_communication_bytes, raw_offload_bytes
+
+
+class TestEquationOne:
+    def test_matches_paper_table2_extremes(self):
+        """Table II: 4 filters, o=256, |C|=3 → 140 B at l=0 and 12 B at l=1."""
+        assert ddnn_communication_bytes(3, 0.0, 4, 256) == pytest.approx(140.0)
+        assert ddnn_communication_bytes(3, 1.0, 4, 256) == pytest.approx(12.0)
+
+    def test_matches_paper_intermediate_row(self):
+        """Table II row T=0.8: 60.82% local exit → ≈ 62 B."""
+        value = ddnn_communication_bytes(3, 0.6082, 4, 256)
+        assert value == pytest.approx(62.0, abs=1.0)
+
+    def test_summary_term_always_paid(self):
+        assert ddnn_communication_bytes(10, 1.0, 4, 256) == 40.0
+
+    def test_monotonically_decreasing_in_local_exit_fraction(self):
+        values = [ddnn_communication_bytes(3, l, 4, 256) for l in np.linspace(0, 1, 11)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_increases_with_filters_and_output_elements(self):
+        assert ddnn_communication_bytes(3, 0.5, 8, 256) > ddnn_communication_bytes(3, 0.5, 4, 256)
+        assert ddnn_communication_bytes(3, 0.5, 4, 512) > ddnn_communication_bytes(3, 0.5, 4, 256)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ddnn_communication_bytes(3, 1.5, 4, 256)
+        with pytest.raises(ValueError):
+            ddnn_communication_bytes(0, 0.5, 4, 256)
+
+
+class TestRawOffload:
+    def test_paper_value_3072_bytes(self):
+        assert raw_offload_bytes(3, 32) == 3072.0
+
+    def test_scales_with_geometry(self):
+        assert raw_offload_bytes(3, 64) == 4 * 3072.0
+        assert raw_offload_bytes(1, 32, bytes_per_value=2) == 2048.0
+
+
+class TestCommunicationModel:
+    @pytest.fixture()
+    def model(self):
+        return CommunicationModel(DDNNConfig(num_devices=6, device_filters=4))
+
+    def test_per_device_uses_config_geometry(self, model):
+        assert model.per_device_bytes(0.0) == pytest.approx(140.0)
+        assert model.per_device_bytes(1.0) == pytest.approx(12.0)
+
+    def test_total_scales_with_devices(self, model):
+        assert model.total_bytes(0.5) == pytest.approx(6 * model.per_device_bytes(0.5))
+
+    def test_reduction_factor_over_20x_at_paper_operating_point(self, model):
+        """Section IV-H: >20x reduction vs 3072-byte raw offload at T=0.8."""
+        assert model.reduction_factor(0.6082) > 20.0
+
+    def test_raw_offload_reference(self, model):
+        assert model.raw_offload_per_device_bytes() == 3072.0

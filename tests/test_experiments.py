@@ -1,0 +1,163 @@
+"""Tests for the experiment harness (one per paper table/figure).
+
+Experiments are exercised at a deliberately tiny scale: the goal here is to
+verify that each harness produces the right table structure, respects its
+parameters and reports internally consistent numbers — not to reproduce the
+paper's accuracy, which the benchmark harness does at larger scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.experiments as experiments
+from repro.experiments import (
+    EXPERIMENT_REGISTRY,
+    ExperimentScale,
+    ci_scale,
+    default_scale,
+    paper_scale,
+)
+from repro.experiments.results import ExperimentResult, format_table
+
+
+@pytest.fixture(scope="module")
+def tiny_scale():
+    return ExperimentScale(
+        name="unit-test",
+        train_samples=48,
+        test_samples=20,
+        epochs=2,
+        batch_size=24,
+        num_devices=4,
+        device_filters=2,
+        cloud_filters=4,
+        cloud_conv_blocks=2,
+        cloud_hidden_units=8,
+        individual_epochs=2,
+        data_seed=13,
+        model_seed=2,
+    )
+
+
+class TestResultContainers:
+    def test_add_row_validates_columns(self):
+        result = ExperimentResult("x", "Table X", columns=["a", "b"])
+        result.add_row(a=1, b=2.5)
+        with pytest.raises(KeyError):
+            result.add_row(a=1, c=3)
+        assert result.column("a") == [1]
+        with pytest.raises(KeyError):
+            result.column("z")
+
+    def test_to_text_renders_all_rows(self):
+        result = ExperimentResult("x", "Table X", columns=["a", "b"])
+        result.add_row(a=1, b=2.0)
+        result.add_row(a=2, b=3.0)
+        text = result.to_text()
+        assert "Table X" in text
+        assert text.count("\n") >= 3
+
+    def test_format_table_handles_empty_rows(self):
+        assert "a" in format_table(["a"], [])
+
+
+class TestScales:
+    def test_paper_scale_matches_paper_settings(self):
+        scale = paper_scale()
+        assert scale.train_samples == 680
+        assert scale.test_samples == 171
+        assert scale.epochs == 100
+        assert scale.num_devices == 6
+
+    def test_default_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "paper")
+        assert default_scale().name == "paper"
+        monkeypatch.setenv("REPRO_SCALE", "ci")
+        assert default_scale().name == "ci"
+        monkeypatch.setenv("REPRO_SCALE", "huge")
+        with pytest.raises(ValueError):
+            default_scale()
+
+    def test_scale_config_builders(self):
+        scale = ci_scale()
+        config = scale.ddnn_config(device_filters=2)
+        assert config.device_filters == 2
+        assert config.num_devices == scale.num_devices
+        training = scale.training_config(epochs=3)
+        assert training.epochs == 3
+
+    def test_registry_contains_all_paper_experiments(self):
+        expected = {
+            "fig6_dataset_stats",
+            "table1_aggregation",
+            "table2_fig7_threshold_sweep",
+            "fig8_scaling_devices",
+            "fig9_cloud_offloading",
+            "fig10_fault_tolerance",
+            "sec4h_communication_reduction",
+        }
+        assert expected.issubset(set(EXPERIMENT_REGISTRY))
+
+    def test_model_cache_returns_same_object(self, tiny_scale):
+        first, _ = experiments.get_trained_ddnn(tiny_scale)
+        second, _ = experiments.get_trained_ddnn(tiny_scale)
+        assert first is second
+
+
+class TestExperimentHarnesses:
+    def test_dataset_stats(self, tiny_scale):
+        result = experiments.run_dataset_stats(tiny_scale)
+        assert result.paper_reference == "Figure 6"
+        assert len(result.rows) == tiny_scale.num_devices
+        for row in result.rows:
+            assert row["total"] == tiny_scale.train_samples
+
+    def test_threshold_sweep_consistency(self, tiny_scale):
+        result = experiments.run_threshold_sweep(tiny_scale, thresholds=(0.0, 0.5, 1.0))
+        assert [row["threshold"] for row in result.rows] == [0.0, 0.5, 1.0]
+        exits = result.column("local_exit_pct")
+        assert exits[0] == 0.0 and exits[-1] == 100.0
+        assert all(a <= b + 1e-9 for a, b in zip(exits, exits[1:]))
+        comm = result.column("communication_bytes")
+        assert all(a >= b - 1e-9 for a, b in zip(comm, comm[1:]))
+
+    def test_aggregation_table_subset(self, tiny_scale):
+        result = experiments.run_aggregation_table(tiny_scale, schemes=("MP-CC", "AP-AP"))
+        assert [row["scheme"] for row in result.rows] == ["MP-CC", "AP-AP"]
+        for row in result.rows:
+            assert 0.0 <= row["local_accuracy_pct"] <= 100.0
+            assert 0.0 <= row["cloud_accuracy_pct"] <= 100.0
+
+    def test_communication_reduction(self, tiny_scale):
+        result = experiments.run_communication_reduction(tiny_scale, include_cloud_baseline=False)
+        (ddnn_row,) = result.rows
+        assert ddnn_row["system"] == "ddnn"
+        assert ddnn_row["bytes_per_sample"] < 3072
+        assert ddnn_row["reduction_factor"] > 1.0
+
+    def test_fault_tolerance_rows(self, tiny_scale):
+        individual = {index: 0.5 for index in range(tiny_scale.num_devices)}
+        result = experiments.run_fault_tolerance(tiny_scale, individual=individual)
+        assert len(result.rows) == tiny_scale.num_devices
+        assert [row["failed_device"] for row in result.rows] == list(
+            range(1, tiny_scale.num_devices + 1)
+        )
+
+    def test_weight_ablation_rows(self, tiny_scale):
+        result = experiments.run_weight_ablation(
+            tiny_scale, weightings=(("equal", (1.0, 1.0)),)
+        )
+        assert result.rows[0]["weighting"] == "equal"
+
+    def test_mixed_precision_rows(self, tiny_scale):
+        result = experiments.run_mixed_precision(tiny_scale)
+        assert [row["cloud_precision"] for row in result.rows] == ["binary", "float"]
+
+    def test_cloud_offloading_rows(self, tiny_scale):
+        result = experiments.run_cloud_offloading(tiny_scale, filter_sweep=(1, 2))
+        assert [row["device_filters"] for row in result.rows] == [1, 2]
+        for row in result.rows:
+            assert row["device_memory_bytes"] < 2048
+            assert row["communication_bytes"] > 0

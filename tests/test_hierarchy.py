@@ -1,0 +1,215 @@
+"""Tests for the distributed hierarchy simulator (network, nodes, faults, runtime)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import StagedInferenceEngine
+from repro.hierarchy import (
+    CLOUD_NAME,
+    LOCAL_AGGREGATOR_NAME,
+    FaultPlan,
+    HierarchyRuntime,
+    Message,
+    NetworkFabric,
+    NetworkLink,
+    partition_ddnn,
+    random_failures,
+    single_device_failures,
+)
+from repro.hierarchy.telemetry import SampleTrace, Telemetry
+
+
+class TestNetwork:
+    def test_message_validation(self):
+        with pytest.raises(ValueError):
+            Message("a", "b", size_bytes=-1)
+
+    def test_link_transfer_time(self):
+        link = NetworkLink("a", "b", bandwidth_bytes_per_s=1000.0, latency_s=0.5)
+        assert link.transfer_time(1000.0) == pytest.approx(1.5)
+        with pytest.raises(ValueError):
+            link.transfer_time(-1.0)
+
+    def test_link_accumulates_stats_and_resets(self):
+        link = NetworkLink("a", "b", bandwidth_bytes_per_s=100.0, latency_s=0.0)
+        link.send(Message("a", "b", 50.0))
+        link.send(Message("a", "b", 150.0))
+        assert link.stats.messages == 2
+        assert link.stats.bytes_transferred == 200.0
+        link.reset()
+        assert link.stats.messages == 0
+
+    def test_fabric_routing_and_totals(self):
+        fabric = NetworkFabric()
+        fabric.connect("device-0", "cloud", bandwidth_bytes_per_s=100.0, latency_s=0.0)
+        fabric.connect("device-1", "cloud")
+        assert fabric.has_link("device-0", "cloud")
+        assert not fabric.has_link("cloud", "device-0")
+        fabric.send(Message("device-0", "cloud", 10.0))
+        fabric.send(Message("device-1", "cloud", 30.0))
+        assert fabric.total_bytes() == 40.0
+        assert fabric.total_messages() == 2
+        assert fabric.bytes_from("device-0") == 10.0
+        assert len(fabric.log) == 2
+        fabric.reset()
+        assert fabric.total_bytes() == 0.0 and not fabric.log
+
+    def test_fabric_rejects_duplicates_and_unknown_links(self):
+        fabric = NetworkFabric()
+        fabric.connect("a", "b")
+        with pytest.raises(ValueError):
+            fabric.connect("a", "b")
+        with pytest.raises(KeyError):
+            fabric.link("a", "c")
+
+
+class TestFaultPlans:
+    def test_permanent_failures(self):
+        plan = FaultPlan(failed_devices={1, 3})
+        assert plan.device_is_down(1) and plan.device_is_down(3)
+        assert not plan.device_is_down(0)
+        assert not plan.sample_delivery(1)
+        assert plan.sample_delivery(0)
+        assert not plan.is_empty()
+
+    def test_intermittent_failures_probabilistic(self):
+        plan = FaultPlan(intermittent={0: 0.5}, seed=0)
+        outcomes = [plan.sample_delivery(0) for _ in range(200)]
+        assert 0.3 < np.mean(outcomes) < 0.7
+
+    def test_intermittent_probability_validated(self):
+        with pytest.raises(ValueError):
+            FaultPlan(intermittent={0: 1.5})
+
+    def test_single_device_failures_helper(self):
+        plans = single_device_failures(6)
+        assert len(plans) == 6
+        assert plans[2].failed_devices == {2}
+
+    def test_random_failures_helper(self):
+        plan = random_failures(6, 2, seed=1)
+        assert len(plan.failed_devices) == 2
+        with pytest.raises(ValueError):
+            random_failures(4, 5)
+
+
+class TestPartition:
+    def test_deployment_structure(self, trained_ddnn):
+        deployment = partition_ddnn(trained_ddnn)
+        assert len(deployment.devices) == trained_ddnn.config.num_devices
+        assert deployment.local_aggregator is not None
+        assert deployment.cloud.name == CLOUD_NAME
+        assert deployment.edges == []
+        for device in deployment.devices:
+            assert deployment.fabric.has_link(device.name, LOCAL_AGGREGATOR_NAME)
+            assert deployment.fabric.has_link(device.name, CLOUD_NAME)
+        assert deployment.node_by_name(deployment.devices[0].name) is deployment.devices[0]
+        with pytest.raises(KeyError):
+            deployment.node_by_name("nope")
+
+    def test_device_payload_sizes_match_eq1_terms(self, trained_ddnn):
+        deployment = partition_ddnn(trained_ddnn)
+        device = deployment.devices[0]
+        config = trained_ddnn.config
+        assert device.summary_bytes() == 4 * config.num_classes
+        assert device.feature_bytes() == config.device_filters * config.device_feature_map_elements / 8
+        assert device.raw_input_bytes() == 3 * 32 * 32
+
+    def test_model_sections_are_shared_not_copied(self, trained_ddnn):
+        deployment = partition_ddnn(trained_ddnn)
+        assert deployment.devices[0].branch is trained_ddnn.device_branches[0]
+        assert deployment.cloud.model is trained_ddnn.cloud
+
+
+class TestHierarchyRuntime:
+    def test_matches_centralized_staged_inference(self, trained_ddnn, tiny_test):
+        engine = StagedInferenceEngine(trained_ddnn, 0.8)
+        central = engine.run(tiny_test)
+        runtime = HierarchyRuntime(partition_ddnn(trained_ddnn), 0.8)
+        distributed = runtime.run(tiny_test)
+        np.testing.assert_array_equal(central.predictions, distributed.predictions)
+        assert central.local_exit_fraction == pytest.approx(distributed.local_exit_fraction)
+        assert distributed.accuracy() == pytest.approx(central.overall_accuracy(tiny_test.labels))
+
+    def test_byte_accounting_matches_eq1(self, trained_ddnn, tiny_test):
+        engine = StagedInferenceEngine(trained_ddnn, 0.8)
+        central = engine.run(tiny_test)
+        runtime = HierarchyRuntime(partition_ddnn(trained_ddnn), 0.8)
+        distributed = runtime.run(tiny_test)
+        per_device = distributed.mean_bytes_per_device(trained_ddnn.config.num_devices)
+        assert per_device == pytest.approx(engine.communication_bytes(central))
+
+    def test_local_exits_have_lower_latency(self, trained_ddnn, tiny_test):
+        runtime = HierarchyRuntime(partition_ddnn(trained_ddnn), 0.8)
+        result = runtime.run(tiny_test)
+        latencies = result.latencies_s
+        names = np.array(result.exit_names_per_sample)
+        if (names == "local").any() and (names == "cloud").any():
+            assert latencies[names == "local"].mean() < latencies[names == "cloud"].mean()
+
+    def test_threshold_one_sends_nothing_to_cloud(self, trained_ddnn, tiny_test):
+        deployment = partition_ddnn(trained_ddnn)
+        runtime = HierarchyRuntime(deployment, 1.0)
+        result = runtime.run(tiny_test)
+        assert result.local_exit_fraction == 1.0
+        for device in deployment.devices:
+            assert deployment.fabric.bytes_from(device.name) == pytest.approx(
+                len(tiny_test) * device.summary_bytes()
+            )
+
+    def test_failed_device_sends_nothing(self, trained_ddnn, tiny_test):
+        deployment = partition_ddnn(trained_ddnn)
+        runtime = HierarchyRuntime(deployment, 0.8, fault_plan=FaultPlan(failed_devices={0}))
+        result = runtime.run(tiny_test)
+        assert deployment.fabric.bytes_from(deployment.devices[0].name) == 0.0
+        assert 0.0 <= result.accuracy() <= 1.0
+
+    def test_telemetry_summary(self, trained_ddnn, tiny_test):
+        runtime = HierarchyRuntime(partition_ddnn(trained_ddnn), 0.8)
+        result = runtime.run(tiny_test)
+        summary = result.telemetry.summary()
+        assert summary.num_samples == len(tiny_test)
+        assert sum(summary.exit_fractions.values()) == pytest.approx(1.0)
+        assert summary.accuracy == pytest.approx(result.accuracy())
+        assert summary.mean_latency_s > 0
+        assert summary.total_bytes == pytest.approx(result.bytes_per_sample.sum())
+
+    def test_empty_telemetry_summary(self):
+        summary = Telemetry().summary()
+        assert summary.num_samples == 0
+        assert summary.accuracy is None
+
+    def test_telemetry_records(self):
+        telemetry = Telemetry()
+        telemetry.record(SampleTrace(0, 1, "local", 0.01, 12.0, 0.2, correct=True))
+        assert len(telemetry) == 1
+
+    def test_threshold_validation(self, trained_ddnn):
+        with pytest.raises(ValueError):
+            HierarchyRuntime(partition_ddnn(trained_ddnn), [0.1, 0.2, 0.3, 0.4])
+
+
+class TestEdgeRuntime:
+    def test_edge_topology_runtime_matches_central(self, tiny_train, tiny_test):
+        from repro.core import DDNNConfig, DDNNTopology, DDNNTrainer, TrainingConfig, build_ddnn
+
+        config = DDNNConfig(
+            num_devices=4,
+            device_filters=2,
+            cloud_filters=4,
+            edge_filters=3,
+            cloud_hidden_units=8,
+            topology=DDNNTopology.from_name("devices_edge_cloud"),
+            seed=5,
+        )
+        model = build_ddnn(config)
+        DDNNTrainer(model, TrainingConfig(epochs=2, batch_size=32, seed=0)).fit(tiny_train)
+        model.eval()
+        central = StagedInferenceEngine(model, [0.7, 0.8]).run(tiny_test)
+        deployment = partition_ddnn(model)
+        assert len(deployment.edges) == 1
+        distributed = HierarchyRuntime(deployment, [0.7, 0.8]).run(tiny_test)
+        np.testing.assert_array_equal(central.predictions, distributed.predictions)
+        assert central.exit_fraction("edge") == pytest.approx(distributed.exit_fraction("edge"))

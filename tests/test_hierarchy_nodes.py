@@ -1,0 +1,152 @@
+"""Additional hierarchy tests: node accounting, deployment wiring, link specs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DDNNConfig, DDNNTopology, build_ddnn
+from repro.core.aggregation import MaxPoolAggregator
+from repro.hierarchy import (
+    CLOUD_NAME,
+    DEFAULT_EDGE_LINK,
+    DEFAULT_LOCAL_LINK,
+    DEFAULT_UPLINK,
+    AggregatorNode,
+    ComputeNode,
+    EndDeviceNode,
+    LinkSpec,
+    partition_ddnn,
+)
+from repro.nn import Tensor
+
+
+@pytest.fixture(scope="module")
+def small_model():
+    return build_ddnn(
+        DDNNConfig(num_devices=3, device_filters=2, cloud_filters=4, cloud_hidden_units=8, seed=0)
+    )
+
+
+class TestComputeNode:
+    def test_invalid_throughput_rejected(self):
+        with pytest.raises(ValueError):
+            ComputeNode("x", ops_per_second=0)
+
+    def test_fail_and_restore(self):
+        node = ComputeNode("x")
+        assert not node.failed
+        node.fail()
+        assert node.failed
+        assert "failed" in repr(node)
+        node.restore()
+        assert not node.failed
+
+    def test_accounting(self):
+        node = ComputeNode("x", ops_per_second=1000.0)
+        seconds = node._account(500.0, samples=2)
+        assert seconds == pytest.approx(0.5)
+        assert node.stats.samples_processed == 2
+        assert node.stats.compute_seconds == pytest.approx(0.5)
+        node.reset_stats()
+        assert node.stats.samples_processed == 0
+
+
+class TestEndDeviceNode:
+    def test_process_returns_features_scores_and_time(self, small_model):
+        node = EndDeviceNode("device-0", small_model.device_branches[0])
+        views = np.random.default_rng(0).random((3, 3, 32, 32))
+        features, scores, seconds = node.process(views)
+        assert features.shape == (3, 2, 16, 16)
+        assert scores.shape == (3, 3)
+        assert seconds > 0
+
+    def test_process_accepts_single_view(self, small_model):
+        node = EndDeviceNode("device-0", small_model.device_branches[0])
+        features, scores, _ = node.process(np.zeros((3, 32, 32)))
+        assert features.shape[0] == 1 and scores.shape[0] == 1
+
+    def test_failed_device_emits_zeros_and_no_compute(self, small_model):
+        node = EndDeviceNode("device-0", small_model.device_branches[0])
+        node.fail()
+        features, scores, seconds = node.process(np.ones((2, 3, 32, 32)))
+        assert seconds == 0.0
+        np.testing.assert_allclose(features, 0.0)
+        np.testing.assert_allclose(scores, 0.0)
+
+    def test_payload_sizes(self, small_model):
+        node = EndDeviceNode("device-0", small_model.device_branches[0])
+        assert node.summary_bytes() == 12.0  # 4 bytes * 3 classes
+        assert node.feature_bytes() == 2 * 16 * 16 / 8
+        assert node.raw_input_bytes() == 3072.0
+
+
+class TestAggregatorNode:
+    def test_aggregate_matches_aggregator(self):
+        node = AggregatorNode("gateway", MaxPoolAggregator(2))
+        a = np.array([[1.0, 5.0]])
+        b = np.array([[3.0, 2.0]])
+        fused, seconds = node.aggregate([a, b])
+        np.testing.assert_allclose(fused, [[3.0, 5.0]])
+        assert seconds >= 0
+        assert node.stats.samples_processed == 1
+
+
+class TestLinkSpecsAndPartition:
+    def test_default_link_specs_ordering(self):
+        # Local gateway links are faster than the wide-area uplink.
+        assert DEFAULT_LOCAL_LINK.bandwidth_bytes_per_s > DEFAULT_UPLINK.bandwidth_bytes_per_s
+        assert DEFAULT_LOCAL_LINK.latency_s < DEFAULT_UPLINK.latency_s
+        assert DEFAULT_EDGE_LINK.bandwidth_bytes_per_s >= DEFAULT_UPLINK.bandwidth_bytes_per_s
+
+    def test_custom_link_spec_applied(self, small_model):
+        deployment = partition_ddnn(
+            small_model, uplink=LinkSpec(bandwidth_bytes_per_s=123.0, latency_s=0.5)
+        )
+        link = deployment.fabric.link("device-0", CLOUD_NAME)
+        assert link.bandwidth_bytes_per_s == 123.0
+        assert link.latency_s == 0.5
+
+    def test_cloud_only_topology_has_no_gateway(self):
+        model = build_ddnn(
+            DDNNConfig(
+                num_devices=2,
+                device_filters=2,
+                cloud_filters=4,
+                cloud_hidden_units=8,
+                topology=DDNNTopology.from_name("cloud_only"),
+            )
+        )
+        deployment = partition_ddnn(model)
+        assert deployment.local_aggregator is None
+        assert deployment.fabric.has_link("device-0", CLOUD_NAME)
+
+    def test_edge_topology_wiring(self):
+        model = build_ddnn(
+            DDNNConfig(
+                num_devices=4,
+                device_filters=2,
+                cloud_filters=4,
+                edge_filters=3,
+                cloud_hidden_units=8,
+                topology=DDNNTopology.from_name("devices_edges_cloud", num_edges=2),
+            )
+        )
+        deployment = partition_ddnn(model)
+        assert len(deployment.edges) == 2
+        # Devices connect to their own edge, edges connect to the cloud.
+        assert deployment.fabric.has_link("device-0", "edge-0")
+        assert deployment.fabric.has_link("device-3", "edge-1")
+        assert not deployment.fabric.has_link("device-0", "edge-1")
+        assert deployment.fabric.has_link("edge-0", CLOUD_NAME)
+        assert not deployment.fabric.has_link("device-0", CLOUD_NAME)
+        assert deployment.edges[0].feature_bytes() == 3 * 8 * 8 / 8
+
+    def test_deployment_reset_clears_stats_and_failures(self, small_model):
+        deployment = partition_ddnn(small_model)
+        deployment.devices[0].fail()
+        deployment.devices[1].stats.bytes_sent = 100.0
+        deployment.reset()
+        assert not deployment.devices[0].failed
+        assert deployment.devices[1].stats.bytes_sent == 0.0
+        assert deployment.fabric.total_bytes() == 0.0
