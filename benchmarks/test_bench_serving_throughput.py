@@ -1,0 +1,36 @@
+"""Benchmark S1 — online serving throughput: dynamic batching vs sequential.
+
+Serves the MVMC test traffic through :class:`~repro.serving.server.DDNNServer`
+in sequential (batch-size-1) mode and with dynamic micro-batching, and
+records the measured throughput ratio.  The acceptance bar: micro-batching
+must deliver at least a 3x throughput win over request-at-a-time serving
+while producing bit-identical predictions.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.serving_benchmark import run_serving_throughput
+
+
+def test_bench_serving_throughput(benchmark, scale, record_result):
+    result = benchmark.pedantic(
+        run_serving_throughput, args=(scale,), kwargs={"repeats": 3}, rounds=1, iterations=1
+    )
+    record_result(result)
+
+    modes = result.column("mode")
+    assert modes[0] == "sequential"
+    speedups = result.column("speedup_vs_sequential")
+    assert speedups[0] == 1.0
+
+    # Batching must not change a single answer (the experiment itself raises
+    # if predictions diverge); accuracy is therefore identical across modes.
+    accuracies = result.column("accuracy_pct")
+    assert len(set(round(a, 9) for a in accuracies)) == 1
+
+    # The headline claim: dynamic micro-batching >= 3x sequential throughput.
+    assert max(speedups) >= 3.0, f"best speedup {max(speedups):.2f}x < 3x"
+
+    # Larger windows should not serve fewer requests.
+    requests = result.column("requests")
+    assert len(set(requests)) == 1

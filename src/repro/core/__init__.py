@@ -8,12 +8,21 @@ Public surface:
 * aggregation schemes (MP / AP / CC);
 * :class:`ExitCriterion` and :func:`normalized_entropy` — the confidence rule;
 * :class:`DDNNTrainer` — joint multi-exit training;
+* :class:`ExitCascade` — the shared staged exit-cascade engine;
 * :class:`StagedInferenceEngine` — threshold-based distributed inference;
 * :class:`CommunicationModel` — the paper's Eq. 1 byte accounting;
 * threshold search and accuracy reporting helpers.
 """
 
 from .accuracy import AccuracyReport, evaluate_exit_accuracies, evaluate_overall, full_accuracy_report
+from .cascade import (
+    CascadeResult,
+    CascadeRouter,
+    ExitCascade,
+    StageOutcome,
+    build_exit_criteria,
+    normalize_thresholds,
+)
 from .aggregation import (
     AGGREGATION_SCHEMES,
     Aggregator,
@@ -59,6 +68,12 @@ __all__ = [
     "ExitDecision",
     "normalized_entropy",
     "softmax_probabilities",
+    "ExitCascade",
+    "CascadeRouter",
+    "CascadeResult",
+    "StageOutcome",
+    "normalize_thresholds",
+    "build_exit_criteria",
     "DDNNTrainer",
     "EpochStats",
     "TrainingHistory",

@@ -13,13 +13,12 @@ assignments and the communication cost implied by the local exit rate.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
 from ..datasets.mvmc import MVMCDataset
-from ..nn.tensor import no_grad
-from .communication import CommunicationModel
+from .cascade import ExitCascade, Thresholds
 from .ddnn import DDNN
 from .exits import ExitCriterion
 
@@ -99,6 +98,10 @@ class InferenceResult:
 class StagedInferenceEngine:
     """Runs threshold-based multi-exit inference for a trained DDNN.
 
+    A thin adapter over the shared :class:`~repro.core.cascade.ExitCascade`
+    engine, which owns threshold normalization, the per-exit decision rule
+    and the per-sample routing loop.
+
     Parameters
     ----------
     model:
@@ -112,30 +115,18 @@ class StagedInferenceEngine:
     def __init__(
         self,
         model: DDNN,
-        thresholds: Union[float, Sequence[float]],
+        thresholds: Thresholds,
         batch_size: int = 64,
     ) -> None:
         self.model = model
         self.batch_size = batch_size
-        self.criteria = self._build_criteria(thresholds)
-        self.communication = CommunicationModel(model.config)
+        self.cascade = ExitCascade.for_model(model, thresholds)
+        self.communication = self.cascade.communication
 
-    def _build_criteria(self, thresholds: Union[float, Sequence[float]]) -> List[ExitCriterion]:
-        exit_names = self.model.exit_names
-        if isinstance(thresholds, (int, float)):
-            values = [float(thresholds)] * len(exit_names)
-        else:
-            values = [float(t) for t in thresholds]
-            if len(values) == len(exit_names) - 1:
-                values = values + [1.0]
-            if len(values) != len(exit_names):
-                raise ValueError(
-                    f"expected {len(exit_names) - 1} or {len(exit_names)} thresholds, "
-                    f"got {len(values)}"
-                )
-        # The final exit always classifies whatever reaches it.
-        values[-1] = 1.0
-        return [ExitCriterion(value, name=name) for value, name in zip(values, exit_names)]
+    @property
+    def criteria(self) -> List[ExitCriterion]:
+        """The cascade's per-exit criteria (final threshold forced to 1.0)."""
+        return self.cascade.criteria
 
     # ------------------------------------------------------------------ #
     def run(
@@ -148,44 +139,13 @@ class StagedInferenceEngine:
         else:
             views = np.asarray(dataset)
 
-        num_samples = len(views)
-        num_exits = self.model.num_exits
-        predictions = np.zeros(num_samples, dtype=np.int64)
-        exit_indices = np.zeros(num_samples, dtype=np.int64)
-        entropies = np.zeros(num_samples, dtype=np.float64)
-        exit_predictions: Dict[str, List[np.ndarray]] = {
-            name: [] for name in self.model.exit_names
-        }
-
-        self.model.eval()
-        with no_grad():
-            for start in range(0, num_samples, self.batch_size):
-                stop = min(start + self.batch_size, num_samples)
-                output = self.model(views[start:stop])
-                batch = stop - start
-                assigned = np.zeros(batch, dtype=bool)
-                for exit_index, (name, logits) in enumerate(
-                    zip(output.exit_names, output.exit_logits)
-                ):
-                    decision = self.criteria[exit_index].evaluate(logits)
-                    exit_predictions[name].append(decision.predictions)
-                    take = decision.exit_mask & ~assigned
-                    if exit_index == num_exits - 1:
-                        take = ~assigned
-                    rows = np.flatnonzero(take) + start
-                    predictions[rows] = decision.predictions[take]
-                    exit_indices[rows] = exit_index
-                    entropies[rows] = decision.entropies[take]
-                    assigned |= take
-
+        routed = self.cascade.run_model(self.model, views, batch_size=self.batch_size)
         return InferenceResult(
-            predictions=predictions,
-            exit_indices=exit_indices,
-            exit_names=list(self.model.exit_names),
-            entropies=entropies,
-            exit_predictions={
-                name: np.concatenate(chunks) for name, chunks in exit_predictions.items()
-            },
+            predictions=routed.predictions,
+            exit_indices=routed.exit_indices,
+            exit_names=routed.exit_names,
+            entropies=routed.entropies,
+            exit_predictions=routed.exit_predictions,
             targets=None if targets is None else np.asarray(targets),
         )
 

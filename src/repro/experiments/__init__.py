@@ -28,6 +28,7 @@ from .runner import (
     train_fresh_ddnn,
 )
 from .scaling_devices import compute_individual_accuracies, run_scaling_devices
+from .serving_benchmark import DEFAULT_BATCH_SIZES, run_serving_throughput
 from .threshold_sweep import PAPER_TABLE2_THRESHOLDS, run_threshold_sweep
 from .weight_ablation import run_weight_ablation
 
@@ -43,6 +44,7 @@ EXPERIMENT_REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
     "ablation_exit_weights": run_weight_ablation,
     "ext_edge_hierarchy": run_edge_hierarchy,
     "ext_mixed_precision": run_mixed_precision,
+    "serving_throughput": run_serving_throughput,
 }
 
 __all__ = [
@@ -71,5 +73,7 @@ __all__ = [
     "run_weight_ablation",
     "run_edge_hierarchy",
     "run_mixed_precision",
+    "run_serving_throughput",
+    "DEFAULT_BATCH_SIZES",
     "EXPERIMENT_REGISTRY",
 ]

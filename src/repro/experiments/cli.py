@@ -5,6 +5,7 @@ Usage::
     python -m repro.experiments list
     python -m repro.experiments run table2_fig7_threshold_sweep --scale ci
     python -m repro.experiments run all --scale paper --output-dir results/
+    python -m repro.experiments serve-bench --max-batch-size 32 --repeats 4
 
 Each experiment prints its table (the same rows the paper reports) and can
 optionally write it to a text file.
@@ -49,6 +50,43 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory to write each experiment's table as <name>.txt",
     )
+
+    serve_parser = subparsers.add_parser(
+        "serve-bench",
+        help="benchmark online serving: dynamic micro-batching vs sequential",
+    )
+    serve_parser.add_argument(
+        "--scale",
+        choices=("ci", "paper"),
+        default="ci",
+        help="experiment scale for the model and request stream",
+    )
+    serve_parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.8,
+        help="local-exit entropy threshold used by the cascade",
+    )
+    serve_parser.add_argument(
+        "--max-batch-size",
+        type=int,
+        action="append",
+        dest="batch_sizes",
+        default=None,
+        help="micro-batch ceiling to measure (repeatable; default: 8, 32 and 64)",
+    )
+    serve_parser.add_argument(
+        "--repeats",
+        type=int,
+        default=2,
+        help="passes over the test set forming the request stream",
+    )
+    serve_parser.add_argument(
+        "--output-dir",
+        type=Path,
+        default=None,
+        help="directory to write the serving table as serving_throughput.txt",
+    )
     return parser
 
 
@@ -71,6 +109,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "list":
         for name in EXPERIMENT_REGISTRY:
             print(name)
+        return 0
+
+    if args.command == "serve-bench":
+        from .serving_benchmark import DEFAULT_BATCH_SIZES, run_serving_throughput
+
+        scale = paper_scale() if args.scale == "paper" else ci_scale()
+        batch_sizes = args.batch_sizes if args.batch_sizes else DEFAULT_BATCH_SIZES
+        result = run_serving_throughput(
+            scale,
+            threshold=args.threshold,
+            batch_sizes=batch_sizes,
+            repeats=args.repeats,
+        )
+        text = result.to_text()
+        print(text)
+        if args.output_dir is not None:
+            args.output_dir.mkdir(parents=True, exist_ok=True)
+            (args.output_dir / f"{result.name}.txt").write_text(text + "\n")
         return 0
 
     scale = paper_scale() if args.scale == "paper" else ci_scale()

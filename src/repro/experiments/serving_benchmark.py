@@ -1,0 +1,129 @@
+"""Experiment S1 — online serving throughput under dynamic micro-batching.
+
+The paper's deployment serves a continuous stream of requests from end
+devices; the win of the exit cascade is throughput and latency under load.
+This experiment measures the :class:`~repro.serving.server.DDNNServer`
+draining the MVMC test traffic in several modes:
+
+* ``sequential`` — batch-size-1 serving (the naive request-at-a-time
+  baseline);
+* ``dynamic-N`` — micro-batching with ``max_batch_size = N``.
+
+For each mode it reports wall time, requests/second, the speedup over the
+sequential baseline, service latency percentiles and the per-exit traffic
+split.  Accuracy is also reported as a guard: batching must not change a
+single prediction (the cascade is numerically batch-size invariant).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..serving import BatchingPolicy, DDNNServer
+from .results import ExperimentResult
+from .runner import ExperimentScale, default_scale, get_dataset, get_trained_ddnn
+
+__all__ = ["DEFAULT_BATCH_SIZES", "run_serving_throughput"]
+
+#: Micro-batch ceilings measured against the sequential baseline.
+DEFAULT_BATCH_SIZES = (8, 32, 64)
+
+
+def run_serving_throughput(
+    scale: Optional[ExperimentScale] = None,
+    threshold: float = 0.8,
+    batch_sizes: Sequence[int] = DEFAULT_BATCH_SIZES,
+    repeats: int = 2,
+    timing_rounds: int = 3,
+) -> ExperimentResult:
+    """Benchmark sequential vs dynamically-batched online serving.
+
+    ``repeats`` controls how many passes over the test set form the request
+    stream, so the measurement window is long enough to be stable at CI
+    scale.  Each mode is drained ``timing_rounds`` times and the fastest
+    round is reported, which suppresses scheduler noise in the ratio.
+    """
+    scale = scale if scale is not None else default_scale()
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    if timing_rounds < 1:
+        raise ValueError("timing_rounds must be at least 1")
+    model, _ = get_trained_ddnn(scale)
+    _, test_set = get_dataset(scale)
+
+    result = ExperimentResult(
+        name="serving_throughput",
+        paper_reference="Serving (Sec. III-F online)",
+        columns=[
+            "mode",
+            "max_batch_size",
+            "requests",
+            "wall_s",
+            "throughput_rps",
+            "speedup_vs_sequential",
+            "mean_latency_ms",
+            "p95_latency_ms",
+            "mean_batch",
+            "local_exit_pct",
+            "accuracy_pct",
+        ],
+        metadata={
+            "scale": scale.name,
+            "threshold": threshold,
+            "repeats": repeats,
+            "timing_rounds": timing_rounds,
+            "test_samples": len(test_set),
+        },
+    )
+
+    policies = [("sequential", BatchingPolicy.sequential())]
+    for size in batch_sizes:
+        policies.append((f"dynamic-{size}", BatchingPolicy(max_batch_size=size, max_wait_s=0.0)))
+
+    sequential_throughput: Optional[float] = None
+    baseline_predictions: Optional[np.ndarray] = None
+    for mode, policy in policies:
+        wall = float("inf")
+        for _ in range(timing_rounds):
+            server = DDNNServer(model, threshold, policy=policy)
+            for _ in range(repeats):
+                for index in range(len(test_set)):
+                    server.submit(
+                        test_set.images[index],
+                        client_id="bench",
+                        target=int(test_set.labels[index]),
+                    )
+            started = time.perf_counter()
+            responses = server.run_until_drained()
+            wall = min(wall, time.perf_counter() - started)
+
+        responses.sort(key=lambda response: response.request_id)
+        predictions = np.array([response.prediction for response in responses])
+        if baseline_predictions is None:
+            baseline_predictions = predictions
+        elif not np.array_equal(predictions, baseline_predictions):
+            raise AssertionError(f"mode {mode} changed predictions — cascade not batch-invariant")
+
+        throughput = len(responses) / wall if wall > 0 else float("inf")
+        if sequential_throughput is None:
+            sequential_throughput = throughput
+        snapshot = server.snapshot()
+        latencies = np.array([response.latency_s for response in responses])
+        targets = np.array([response.target for response in responses])
+        result.add_row(
+            mode=mode,
+            max_batch_size=policy.max_batch_size,
+            requests=len(responses),
+            wall_s=wall,
+            throughput_rps=throughput,
+            speedup_vs_sequential=throughput / sequential_throughput,
+            mean_latency_ms=1e3 * float(latencies.mean()),
+            p95_latency_ms=1e3 * float(np.percentile(latencies, 95)),
+            mean_batch=snapshot.mean_batch_size,
+            local_exit_pct=100.0 * snapshot.exit_fractions.get("local", 0.0),
+            accuracy_pct=100.0 * float(np.mean(predictions == targets)),
+        )
+    return result

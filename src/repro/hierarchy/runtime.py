@@ -23,17 +23,18 @@ tests).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Union
+from typing import List, Optional
 
 import numpy as np
 
-from ..core.exits import ExitCriterion, normalized_entropy, softmax_probabilities
+from ..core.cascade import ExitCascade, Thresholds
+from ..core.exits import ExitCriterion
 from ..datasets.mvmc import MVMCDataset
 from ..nn.tensor import Tensor, no_grad
 from .faults import FaultPlan
 from .network import Message
 from .partition import CLOUD_NAME, LOCAL_AGGREGATOR_NAME, HierarchyDeployment
-from .telemetry import SampleTrace, Telemetry
+from .telemetry import Telemetry
 
 __all__ = ["DistributedInferenceResult", "HierarchyRuntime"]
 
@@ -77,7 +78,7 @@ class HierarchyRuntime:
     def __init__(
         self,
         deployment: HierarchyDeployment,
-        thresholds: Union[float, Sequence[float]],
+        thresholds: Thresholds,
         fault_plan: Optional[FaultPlan] = None,
         batch_size: int = 64,
     ) -> None:
@@ -85,22 +86,12 @@ class HierarchyRuntime:
         self.model = deployment.model
         self.fault_plan = fault_plan if fault_plan is not None else FaultPlan()
         self.batch_size = batch_size
-        self.criteria = self._build_criteria(thresholds)
+        self.cascade = ExitCascade.for_model(self.model, thresholds)
 
-    def _build_criteria(self, thresholds: Union[float, Sequence[float]]) -> List[ExitCriterion]:
-        names = self.model.exit_names
-        if isinstance(thresholds, (int, float)):
-            values = [float(thresholds)] * len(names)
-        else:
-            values = [float(t) for t in thresholds]
-            if len(values) == len(names) - 1:
-                values = values + [1.0]
-            if len(values) != len(names):
-                raise ValueError(
-                    f"expected {len(names) - 1} or {len(names)} thresholds, got {len(values)}"
-                )
-        values[-1] = 1.0
-        return [ExitCriterion(value, name=name) for value, name in zip(values, names)]
+    @property
+    def criteria(self) -> List[ExitCriterion]:
+        """The cascade's per-exit criteria (final threshold forced to 1.0)."""
+        return self.cascade.criteria
 
     # ------------------------------------------------------------------ #
     def run(self, dataset: MVMCDataset) -> DistributedInferenceResult:
@@ -133,18 +124,15 @@ class HierarchyRuntime:
                 entropies_seen,
             )
 
-        for index in range(num_samples):
-            telemetry.record(
-                SampleTrace(
-                    sample_index=index,
-                    prediction=int(predictions[index]),
-                    exit_name=exit_names[index],
-                    latency_s=float(latencies[index]),
-                    bytes_transferred=float(bytes_per_sample[index]),
-                    entropy=float(entropies_seen[index]),
-                    correct=bool(predictions[index] == targets[index]),
-                )
-            )
+        telemetry.record_batch(
+            sample_indices=np.arange(num_samples),
+            predictions=predictions,
+            exit_names=exit_names,
+            latencies_s=latencies,
+            bytes_transferred=bytes_per_sample,
+            entropies=entropies_seen,
+            correct=predictions == targets,
+        )
 
         return DistributedInferenceResult(
             predictions=predictions,
@@ -178,6 +166,7 @@ class HierarchyRuntime:
         fabric = deployment.fabric
         batch = len(views)
         num_devices = len(deployment.devices)
+        router = self.cascade.router(batch)
 
         # -------- stage 1: end devices compute their sections ----------- #
         device_features: List[np.ndarray] = []
@@ -197,10 +186,8 @@ class HierarchyRuntime:
 
         sample_latency = np.zeros(batch)
         sample_bytes = np.zeros(batch)
-        assigned = np.zeros(batch, dtype=bool)
 
         # -------- stage 2: local aggregator and local exit --------------- #
-        exit_index = 0
         if self.model.has_local_exit:
             aggregator = deployment.local_aggregator
             summary_latency = np.zeros(batch)
@@ -228,26 +215,14 @@ class HierarchyRuntime:
                     )
             fused_scores, aggregate_seconds = aggregator.aggregate(device_scores)
             per_sample_aggregate = aggregate_seconds / max(batch, 1)
-            probabilities = softmax_probabilities(fused_scores)
-            entropies = normalized_entropy(probabilities)
-            local_predictions = probabilities.argmax(axis=1)
-            exit_mask = entropies <= self.criteria[0].threshold
-
             sample_latency += summary_latency + per_sample_aggregate
-            for sample in np.flatnonzero(exit_mask):
-                row = sample_indices[sample]
-                predictions[row] = local_predictions[sample]
-                exit_names[row] = "local"
-                entropies_seen[row] = entropies[sample]
-                assigned[sample] = True
-            exit_index += 1
-        # Samples that still need the upper tiers.
-        remaining = ~assigned
+            router.offer(fused_scores)
 
         # -------- stage 3: edge tier (optional) -------------------------- #
         current_sources = device_features
         source_nodes = deployment.devices
-        if self.model.has_edge and remaining.any():
+        if self.model.has_edge and router.has_remaining():
+            remaining = router.remaining
             edge_features: List[np.ndarray] = []
             edge_logit_list: List[np.ndarray] = []
             edge_latency = np.zeros(batch)
@@ -287,25 +262,14 @@ class HierarchyRuntime:
                     edge_logits = self.model.edge_exit_aggregator(
                         [Tensor(l) for l in edge_logit_list]
                     ).data
-            probabilities = softmax_probabilities(edge_logits)
-            entropies = normalized_entropy(probabilities)
-            edge_predictions = probabilities.argmax(axis=1)
-            exit_mask = (entropies <= self.criteria[exit_index].threshold) & remaining
-
             sample_latency[remaining] += edge_latency[remaining]
-            for sample in np.flatnonzero(exit_mask):
-                row = sample_indices[sample]
-                predictions[row] = edge_predictions[sample]
-                exit_names[row] = "edge"
-                entropies_seen[row] = entropies[sample]
-                assigned[sample] = True
-            remaining = ~assigned
-            exit_index += 1
+            router.offer(edge_logits)
             current_sources = edge_features
             source_nodes = deployment.edges
 
         # -------- stage 4: cloud ------------------------------------------ #
-        if remaining.any():
+        if router.has_remaining():
+            remaining = router.remaining
             cloud = deployment.cloud
             transfer_latency = np.zeros(batch)
             for node in source_nodes:
@@ -332,18 +296,14 @@ class HierarchyRuntime:
                     transfer_latency[sample] = max(transfer_latency[sample], seconds)
 
             cloud_logits, seconds = cloud.process(current_sources)
-            probabilities = softmax_probabilities(cloud_logits)
-            entropies = normalized_entropy(probabilities)
-            cloud_predictions = probabilities.argmax(axis=1)
             per_sample_cloud = seconds / max(batch, 1)
-
             sample_latency[remaining] += transfer_latency[remaining] + per_sample_cloud
-            for sample in np.flatnonzero(remaining):
-                row = sample_indices[sample]
-                predictions[row] = cloud_predictions[sample]
-                exit_names[row] = "cloud"
-                entropies_seen[row] = entropies[sample]
-                assigned[sample] = True
+            router.offer(cloud_logits)
 
+        predictions[sample_indices] = router.predictions
+        entropies_seen[sample_indices] = router.entropies
+        cascade_names = self.cascade.exit_names
+        for offset, exit_idx in enumerate(router.exit_indices.tolist()):
+            exit_names[sample_indices[offset]] = cascade_names[exit_idx]
         latencies[sample_indices] = sample_latency
         bytes_per_sample[sample_indices] = sample_bytes

@@ -1,9 +1,17 @@
-"""Per-sample telemetry collected by the hierarchy runtime."""
+"""Per-sample telemetry collected by the hierarchy runtime.
+
+The store is columnar: each trace field lives in its own flat list so a
+whole run can be recorded with one :meth:`Telemetry.record_batch` call
+(array-to-list conversion happens in C via ``ndarray.tolist``) instead of
+constructing one :class:`SampleTrace` object per sample in a Python loop.
+:attr:`Telemetry.traces` materialises the per-sample view on demand for
+callers that want individual records.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -37,19 +45,76 @@ class TelemetrySummary:
 
 
 class Telemetry:
-    """Collects :class:`SampleTrace` records and summarises them."""
+    """Collects per-sample trace records and summarises them."""
 
     def __init__(self) -> None:
-        self.traces: List[SampleTrace] = []
+        self._sample_indices: List[int] = []
+        self._predictions: List[int] = []
+        self._exit_names: List[str] = []
+        self._latencies_s: List[float] = []
+        self._bytes_transferred: List[float] = []
+        self._entropies: List[float] = []
+        self._correct: List[Optional[bool]] = []
 
     def record(self, trace: SampleTrace) -> None:
-        self.traces.append(trace)
+        """Record one sample's trace."""
+        self._sample_indices.append(int(trace.sample_index))
+        self._predictions.append(int(trace.prediction))
+        self._exit_names.append(trace.exit_name)
+        self._latencies_s.append(float(trace.latency_s))
+        self._bytes_transferred.append(float(trace.bytes_transferred))
+        self._entropies.append(float(trace.entropy))
+        self._correct.append(trace.correct)
+
+    def record_batch(
+        self,
+        sample_indices: np.ndarray,
+        predictions: np.ndarray,
+        exit_names: Sequence[str],
+        latencies_s: np.ndarray,
+        bytes_transferred: np.ndarray,
+        entropies: np.ndarray,
+        correct: Optional[np.ndarray] = None,
+    ) -> None:
+        """Record a whole run's traces from parallel per-sample arrays."""
+        count = len(sample_indices)
+        fields = (predictions, exit_names, latencies_s, bytes_transferred, entropies)
+        if any(len(column) != count for column in fields):
+            raise ValueError("all trace columns must have the same length")
+        if correct is not None and len(correct) != count:
+            raise ValueError("correct must align with the other trace columns")
+        self._sample_indices.extend(np.asarray(sample_indices).tolist())
+        self._predictions.extend(np.asarray(predictions).tolist())
+        self._exit_names.extend(exit_names)
+        self._latencies_s.extend(np.asarray(latencies_s, dtype=np.float64).tolist())
+        self._bytes_transferred.extend(np.asarray(bytes_transferred, dtype=np.float64).tolist())
+        self._entropies.extend(np.asarray(entropies, dtype=np.float64).tolist())
+        if correct is None:
+            self._correct.extend([None] * count)
+        else:
+            self._correct.extend(np.asarray(correct, dtype=bool).tolist())
 
     def __len__(self) -> int:
-        return len(self.traces)
+        return len(self._sample_indices)
+
+    @property
+    def traces(self) -> List[SampleTrace]:
+        """Materialised per-sample records (built on demand)."""
+        return [
+            SampleTrace(*fields)
+            for fields in zip(
+                self._sample_indices,
+                self._predictions,
+                self._exit_names,
+                self._latencies_s,
+                self._bytes_transferred,
+                self._entropies,
+                self._correct,
+            )
+        ]
 
     def summary(self) -> TelemetrySummary:
-        if not self.traces:
+        if not self._sample_indices:
             return TelemetrySummary(
                 num_samples=0,
                 accuracy=None,
@@ -59,16 +124,17 @@ class Telemetry:
                 mean_bytes_per_sample=0.0,
                 total_bytes=0.0,
             )
-        latencies = np.array([trace.latency_s for trace in self.traces])
-        transferred = np.array([trace.bytes_transferred for trace in self.traces])
-        exit_names = [trace.exit_name for trace in self.traces]
+        latencies = np.asarray(self._latencies_s)
+        transferred = np.asarray(self._bytes_transferred)
+        names = np.asarray(self._exit_names)
+        unique, counts = np.unique(names, return_counts=True)
         fractions = {
-            name: exit_names.count(name) / len(exit_names) for name in sorted(set(exit_names))
+            str(name): float(count) / len(names) for name, count in zip(unique, counts)
         }
-        correctness = [trace.correct for trace in self.traces if trace.correct is not None]
+        correctness = [value for value in self._correct if value is not None]
         accuracy = float(np.mean(correctness)) if correctness else None
         return TelemetrySummary(
-            num_samples=len(self.traces),
+            num_samples=len(self._sample_indices),
             accuracy=accuracy,
             exit_fractions=fractions,
             mean_latency_s=float(latencies.mean()),

@@ -1,0 +1,37 @@
+"""``repro.serving`` — online inference over the DDNN exit cascade.
+
+The paper frames DDNN as a serving system: end devices stream samples
+upward, most requests exit at the local aggregator, and the cloud only sees
+the hard tail.  This package provides the online counterpart of the offline
+:class:`~repro.core.inference.StagedInferenceEngine`:
+
+* :class:`RequestQueue` / :class:`ClientSession` — FIFO request intake with
+  per-client bookkeeping;
+* :class:`BatchingPolicy` / :class:`MicroBatcher` — dynamic micro-batching
+  with ``max_batch_size`` and ``max_wait_s`` knobs;
+* :class:`DDNNServer` — a synchronous-loop server draining the queue
+  through the shared :class:`~repro.core.cascade.ExitCascade`, routing
+  responses per exit;
+* :class:`ServerStats` — rolling throughput / latency / exit-rate
+  telemetry.
+
+All timing flows through an injectable clock, so scheduling behaviour is
+deterministic under test while real deployments use wall time.
+"""
+
+from .batcher import BatchingPolicy, MicroBatcher
+from .queue import ClientSession, InferenceRequest, InferenceResponse, RequestQueue
+from .server import DDNNServer
+from .stats import ServerStats, StatsSnapshot
+
+__all__ = [
+    "InferenceRequest",
+    "InferenceResponse",
+    "ClientSession",
+    "RequestQueue",
+    "BatchingPolicy",
+    "MicroBatcher",
+    "DDNNServer",
+    "ServerStats",
+    "StatsSnapshot",
+]

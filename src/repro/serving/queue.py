@@ -1,0 +1,149 @@
+"""Request queue and client sessions for online DDNN serving.
+
+End devices in the paper stream samples upward continuously; the serving
+subsystem models that traffic as :class:`InferenceRequest` objects flowing
+through a FIFO :class:`RequestQueue`.  Each producer is tracked by a
+:class:`ClientSession` so per-client backlog and completion counts are
+observable.  Timestamps come from an injectable ``clock`` callable, which
+keeps the scheduler fully deterministic under test.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["InferenceRequest", "InferenceResponse", "ClientSession", "RequestQueue"]
+
+
+@dataclass
+class InferenceRequest:
+    """One sample awaiting staged inference.
+
+    ``views`` carries the multi-view observation of a single physical
+    object, shape ``(num_devices, C, H, W)`` — one frame per end device.
+    """
+
+    request_id: int
+    client_id: str
+    views: np.ndarray
+    target: Optional[int] = None
+    enqueue_time: float = 0.0
+
+
+@dataclass
+class InferenceResponse:
+    """The cascade's answer for one request, routed back to its client."""
+
+    request_id: int
+    client_id: str
+    prediction: int
+    exit_index: int
+    exit_name: str
+    entropy: float
+    target: Optional[int] = None
+    enqueue_time: float = 0.0
+    completion_time: float = 0.0
+    batch_size: int = 1
+
+    @property
+    def latency_s(self) -> float:
+        """Queueing plus compute delay experienced by this request."""
+        return self.completion_time - self.enqueue_time
+
+    @property
+    def correct(self) -> Optional[bool]:
+        """Whether the prediction matched the target, if one was attached."""
+        if self.target is None:
+            return None
+        return self.prediction == self.target
+
+
+@dataclass
+class ClientSession:
+    """Per-client bookkeeping: what was submitted and what came back."""
+
+    client_id: str
+    submitted: int = 0
+    completed: int = 0
+    responses: List[InferenceResponse] = field(default_factory=list)
+
+    @property
+    def in_flight(self) -> int:
+        return self.submitted - self.completed
+
+    def deliver(self, response: InferenceResponse) -> None:
+        self.completed += 1
+        self.responses.append(response)
+
+
+class RequestQueue:
+    """FIFO queue of inference requests with client-session tracking."""
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self.clock = clock
+        self._pending: Deque[InferenceRequest] = deque()
+        self._sessions: Dict[str, ClientSession] = {}
+        self._next_id = 0
+
+    # ------------------------------------------------------------------ #
+    def session(self, client_id: str) -> ClientSession:
+        """Fetch (or lazily create) the session for a client."""
+        if client_id not in self._sessions:
+            self._sessions[client_id] = ClientSession(client_id)
+        return self._sessions[client_id]
+
+    @property
+    def sessions(self) -> Dict[str, ClientSession]:
+        return dict(self._sessions)
+
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        views: np.ndarray,
+        client_id: str = "default",
+        target: Optional[int] = None,
+    ) -> InferenceRequest:
+        """Enqueue one sample; returns the assigned request."""
+        views = np.asarray(views)
+        if views.ndim != 4:
+            raise ValueError(
+                f"views must have shape (num_devices, C, H, W), got {views.shape}"
+            )
+        request = InferenceRequest(
+            request_id=self._next_id,
+            client_id=client_id,
+            views=views,
+            target=None if target is None else int(target),
+            enqueue_time=self.clock(),
+        )
+        self._next_id += 1
+        self._pending.append(request)
+        self.session(client_id).submitted += 1
+        return request
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def peek_oldest(self) -> Optional[InferenceRequest]:
+        return self._pending[0] if self._pending else None
+
+    def oldest_wait_s(self, now: Optional[float] = None) -> float:
+        """How long the head-of-line request has been waiting."""
+        if not self._pending:
+            return 0.0
+        now = self.clock() if now is None else now
+        return now - self._pending[0].enqueue_time
+
+    def pop_batch(self, max_size: int) -> List[InferenceRequest]:
+        """Dequeue up to ``max_size`` requests in FIFO order."""
+        if max_size < 1:
+            raise ValueError("max_size must be at least 1")
+        batch: List[InferenceRequest] = []
+        while self._pending and len(batch) < max_size:
+            batch.append(self._pending.popleft())
+        return batch

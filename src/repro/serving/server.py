@@ -1,0 +1,156 @@
+"""Online DDNN inference server over the shared exit cascade.
+
+:class:`DDNNServer` is a synchronous-loop server: clients ``submit()``
+multi-view samples into the request queue, and each ``step()`` drains one
+micro-batch through the :class:`~repro.core.cascade.ExitCascade`, producing
+one :class:`~repro.serving.queue.InferenceResponse` per request.  Responses
+are routed per exit (local / edge / cloud outboxes) — mirroring the paper's
+deployment, where locally-exited answers never leave the local aggregator
+while cloud-exited ones return from the upper tier — and delivered to the
+issuing client's session.
+
+Because the server runs the exact same cascade as
+:class:`~repro.core.inference.StagedInferenceEngine`, online serving is
+numerically identical to offline batch inference (covered by tests).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..core.cascade import ExitCascade, Thresholds
+from ..core.ddnn import DDNN
+from ..datasets.mvmc import MVMCDataset
+from .batcher import BatchingPolicy, MicroBatcher
+from .queue import InferenceRequest, InferenceResponse, RequestQueue
+from .stats import ServerStats, StatsSnapshot
+
+__all__ = ["DDNNServer"]
+
+
+class DDNNServer:
+    """Serves staged-exit inference requests with dynamic micro-batching.
+
+    Parameters
+    ----------
+    model:
+        A trained :class:`~repro.core.ddnn.DDNN`.
+    thresholds:
+        Entropy thresholds for the exit cascade (same rules as
+        :class:`~repro.core.inference.StagedInferenceEngine`).
+    policy:
+        Micro-batching knobs; defaults to ``BatchingPolicy()``.  Use
+        :meth:`BatchingPolicy.sequential` for the batch-size-1 baseline.
+    clock:
+        Time source for enqueue/completion stamps; injectable for
+        deterministic tests.
+    """
+
+    def __init__(
+        self,
+        model: DDNN,
+        thresholds: Thresholds,
+        policy: Optional[BatchingPolicy] = None,
+        clock: Callable[[], float] = time.perf_counter,
+        stats_window: int = 1024,
+    ) -> None:
+        self.model = model
+        self.cascade = ExitCascade.for_model(model, thresholds)
+        self.clock = clock
+        self.policy = policy if policy is not None else BatchingPolicy()
+        self.queue = RequestQueue(clock=clock)
+        self.batcher = MicroBatcher(self.queue, self.policy, clock)
+        self.stats = ServerStats(window=stats_window)
+        self._exit_outboxes: Dict[str, List[InferenceResponse]] = {
+            name: [] for name in self.cascade.exit_names
+        }
+
+    # ------------------------------------------------------------------ #
+    @property
+    def exit_names(self) -> List[str]:
+        return list(self.cascade.exit_names)
+
+    def responses_for_exit(self, exit_name: str) -> List[InferenceResponse]:
+        """All responses the named exit classified, in completion order."""
+        if exit_name not in self._exit_outboxes:
+            raise KeyError(f"no exit named '{exit_name}' (have {self.exit_names})")
+        return list(self._exit_outboxes[exit_name])
+
+    def snapshot(self) -> StatsSnapshot:
+        """Current rolling telemetry reading."""
+        return self.stats.snapshot()
+
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        views: np.ndarray,
+        client_id: str = "default",
+        target: Optional[int] = None,
+    ) -> int:
+        """Enqueue one multi-view sample; returns its request id."""
+        return self.queue.submit(views, client_id=client_id, target=target).request_id
+
+    def step(self, force: bool = False) -> List[InferenceResponse]:
+        """Process at most one micro-batch; returns its responses.
+
+        Returns ``[]`` when the batcher decides no batch is due yet (see
+        :class:`~repro.serving.batcher.BatchingPolicy`); ``force=True``
+        overrides the policy triggers and drains whatever is queued.
+        """
+        batch = self.batcher.next_batch(force=force)
+        if not batch:
+            return []
+        return self._process(batch)
+
+    def run_until_drained(self) -> List[InferenceResponse]:
+        """Serve micro-batches until the queue is empty."""
+        responses: List[InferenceResponse] = []
+        while len(self.queue) > 0:
+            responses.extend(self.step(force=True))
+        return responses
+
+    def serve_dataset(
+        self, dataset: MVMCDataset, client_id: str = "default"
+    ) -> List[InferenceResponse]:
+        """Submit every dataset sample, drain the queue, return responses.
+
+        Responses are returned in submission (dataset) order regardless of
+        batch composition, so the result lines up with ``dataset.labels``.
+        """
+        for index in range(len(dataset)):
+            self.submit(
+                dataset.images[index],
+                client_id=client_id,
+                target=int(dataset.labels[index]),
+            )
+        responses = self.run_until_drained()
+        return sorted(responses, key=lambda response: response.request_id)
+
+    # ------------------------------------------------------------------ #
+    def _process(self, batch: List[InferenceRequest]) -> List[InferenceResponse]:
+        views = np.stack([request.views for request in batch])
+        routed = self.cascade.run_model(self.model, views, batch_size=len(batch))
+        completion_time = self.clock()
+        responses: List[InferenceResponse] = []
+        for row, request in enumerate(batch):
+            exit_index = int(routed.exit_indices[row])
+            response = InferenceResponse(
+                request_id=request.request_id,
+                client_id=request.client_id,
+                prediction=int(routed.predictions[row]),
+                exit_index=exit_index,
+                exit_name=self.cascade.exit_names[exit_index],
+                entropy=float(routed.entropies[row]),
+                target=request.target,
+                enqueue_time=request.enqueue_time,
+                completion_time=completion_time,
+                batch_size=len(batch),
+            )
+            self._exit_outboxes[response.exit_name].append(response)
+            self.queue.session(request.client_id).deliver(response)
+            responses.append(response)
+        self.stats.observe_batch(responses)
+        return responses

@@ -1,0 +1,114 @@
+"""Rolling serving telemetry: throughput, latency and exit rates.
+
+:class:`ServerStats` keeps bounded deques of the most recent responses so a
+long-lived server can report a stable rolling picture of its behaviour —
+requests per second, latency percentiles and the fraction of traffic each
+exit absorbs — without unbounded memory growth.  Lifetime totals are kept
+as plain counters.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterable, Optional
+
+import numpy as np
+
+from .queue import InferenceResponse
+
+__all__ = ["StatsSnapshot", "ServerStats"]
+
+
+@dataclass
+class StatsSnapshot:
+    """One rolling-window reading of the server's health."""
+
+    total_requests: int
+    total_batches: int
+    window_requests: int
+    throughput_rps: float
+    mean_latency_s: float
+    p50_latency_s: float
+    p95_latency_s: float
+    max_latency_s: float
+    mean_batch_size: float
+    exit_fractions: Dict[str, float] = field(default_factory=dict)
+    accuracy: Optional[float] = None
+
+
+class ServerStats:
+    """Accumulates per-response observations over a rolling window."""
+
+    def __init__(self, window: int = 1024) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = window
+        self.total_requests = 0
+        self.total_batches = 0
+        self._latencies: Deque[float] = deque(maxlen=window)
+        self._completions: Deque[float] = deque(maxlen=window)
+        self._exit_names: Deque[str] = deque(maxlen=window)
+        self._batch_sizes: Deque[int] = deque(maxlen=window)
+        self._correct: Deque[bool] = deque(maxlen=window)
+
+    def observe_batch(self, responses: Iterable[InferenceResponse]) -> None:
+        """Fold one completed micro-batch into the rolling window."""
+        responses = list(responses)
+        if not responses:
+            return
+        self.total_batches += 1
+        self._batch_sizes.append(len(responses))
+        for response in responses:
+            self.total_requests += 1
+            self._latencies.append(response.latency_s)
+            self._completions.append(response.completion_time)
+            self._exit_names.append(response.exit_name)
+            if response.correct is not None:
+                self._correct.append(response.correct)
+
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> StatsSnapshot:
+        """Summarise the current rolling window."""
+        if not self._latencies:
+            return StatsSnapshot(
+                total_requests=self.total_requests,
+                total_batches=self.total_batches,
+                window_requests=0,
+                throughput_rps=0.0,
+                mean_latency_s=0.0,
+                p50_latency_s=0.0,
+                p95_latency_s=0.0,
+                max_latency_s=0.0,
+                mean_batch_size=0.0,
+            )
+        latencies = np.asarray(self._latencies)
+        completions = np.asarray(self._completions)
+        span = float(completions.max() - completions.min())
+        # A single completion instant (e.g. one batch so far) has no
+        # measurable span; report the window count over the mean latency
+        # as the best-effort rate instead of dividing by zero.
+        if span > 0.0:
+            throughput = (len(completions) - 1) / span
+        elif latencies.mean() > 0.0:
+            throughput = len(completions) / latencies.mean()
+        else:
+            throughput = 0.0
+        counts = Counter(self._exit_names)
+        fractions = {
+            name: counts[name] / len(self._exit_names) for name in sorted(counts)
+        }
+        accuracy = float(np.mean(self._correct)) if self._correct else None
+        return StatsSnapshot(
+            total_requests=self.total_requests,
+            total_batches=self.total_batches,
+            window_requests=len(latencies),
+            throughput_rps=float(throughput),
+            mean_latency_s=float(latencies.mean()),
+            p50_latency_s=float(np.percentile(latencies, 50)),
+            p95_latency_s=float(np.percentile(latencies, 95)),
+            max_latency_s=float(latencies.max()),
+            mean_batch_size=float(np.mean(self._batch_sizes)),
+            exit_fractions=fractions,
+            accuracy=accuracy,
+        )

@@ -1,0 +1,232 @@
+"""Tests for the online serving subsystem (queue, batcher, server, stats)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import StagedInferenceEngine
+from repro.serving import (
+    BatchingPolicy,
+    DDNNServer,
+    MicroBatcher,
+    RequestQueue,
+    ServerStats,
+)
+from repro.serving.queue import InferenceResponse
+
+
+class FakeClock:
+    """Deterministic, manually-advanced time source."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _views(num_devices: int = 2, size: int = 4) -> np.ndarray:
+    return np.zeros((num_devices, 3, size, size))
+
+
+class TestRequestQueue:
+    def test_fifo_order_and_ids(self):
+        queue = RequestQueue(clock=FakeClock())
+        first = queue.submit(_views(), client_id="a")
+        second = queue.submit(_views(), client_id="b")
+        assert (first.request_id, second.request_id) == (0, 1)
+        batch = queue.pop_batch(5)
+        assert [request.request_id for request in batch] == [0, 1]
+        assert len(queue) == 0
+
+    def test_sessions_track_submissions(self):
+        queue = RequestQueue(clock=FakeClock())
+        queue.submit(_views(), client_id="a")
+        queue.submit(_views(), client_id="a")
+        queue.submit(_views(), client_id="b")
+        assert queue.session("a").submitted == 2
+        assert queue.session("b").submitted == 1
+        assert queue.session("a").in_flight == 2
+
+    def test_bad_views_shape_rejected(self):
+        queue = RequestQueue(clock=FakeClock())
+        with pytest.raises(ValueError):
+            queue.submit(np.zeros((3, 4, 4)))
+
+    def test_oldest_wait_tracks_clock(self):
+        clock = FakeClock()
+        queue = RequestQueue(clock=clock)
+        assert queue.oldest_wait_s() == 0.0
+        queue.submit(_views())
+        clock.advance(0.25)
+        assert queue.oldest_wait_s() == pytest.approx(0.25)
+
+    def test_pop_batch_validates_size(self):
+        queue = RequestQueue(clock=FakeClock())
+        with pytest.raises(ValueError):
+            queue.pop_batch(0)
+
+
+class TestMicroBatcher:
+    def test_full_batch_releases_immediately(self):
+        clock = FakeClock()
+        queue = RequestQueue(clock=clock)
+        batcher = MicroBatcher(queue, BatchingPolicy(max_batch_size=2, max_wait_s=10.0), clock)
+        queue.submit(_views())
+        assert not batcher.ready()
+        queue.submit(_views())
+        assert batcher.ready()
+        assert len(batcher.next_batch()) == 2
+
+    def test_partial_batch_waits_for_max_wait(self):
+        clock = FakeClock()
+        queue = RequestQueue(clock=clock)
+        batcher = MicroBatcher(queue, BatchingPolicy(max_batch_size=8, max_wait_s=0.5), clock)
+        queue.submit(_views())
+        assert batcher.next_batch() == []
+        clock.advance(0.6)
+        batch = batcher.next_batch()
+        assert len(batch) == 1
+        assert batcher.batches_formed == 1
+
+    def test_force_drains_regardless_of_policy(self):
+        clock = FakeClock()
+        queue = RequestQueue(clock=clock)
+        batcher = MicroBatcher(queue, BatchingPolicy(max_batch_size=8, max_wait_s=60.0), clock)
+        queue.submit(_views())
+        assert len(batcher.next_batch(force=True)) == 1
+
+    def test_batch_never_exceeds_max_size(self):
+        clock = FakeClock()
+        queue = RequestQueue(clock=clock)
+        batcher = MicroBatcher(queue, BatchingPolicy(max_batch_size=3, max_wait_s=0.0), clock)
+        for _ in range(7):
+            queue.submit(_views())
+        sizes = []
+        while len(queue):
+            sizes.append(len(batcher.next_batch(force=True)))
+        assert sizes == [3, 3, 1]
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            BatchingPolicy(max_batch_size=0)
+        with pytest.raises(ValueError):
+            BatchingPolicy(max_wait_s=-1.0)
+        assert BatchingPolicy.sequential().max_batch_size == 1
+
+
+class TestServerStats:
+    def _response(self, enqueue, complete, exit_name="local", correct=True):
+        return InferenceResponse(
+            request_id=0,
+            client_id="c",
+            prediction=1,
+            exit_index=0,
+            exit_name=exit_name,
+            entropy=0.1,
+            target=1 if correct else 0,
+            enqueue_time=enqueue,
+            completion_time=complete,
+        )
+
+    def test_empty_snapshot(self):
+        snapshot = ServerStats().snapshot()
+        assert snapshot.window_requests == 0
+        assert snapshot.throughput_rps == 0.0
+        assert snapshot.accuracy is None
+
+    def test_snapshot_aggregates(self):
+        stats = ServerStats()
+        stats.observe_batch([self._response(0.0, 0.1), self._response(0.0, 0.1)])
+        stats.observe_batch([self._response(0.1, 0.3, exit_name="cloud", correct=False)])
+        snapshot = stats.snapshot()
+        assert snapshot.total_requests == 3
+        assert snapshot.total_batches == 2
+        assert snapshot.exit_fractions == {"cloud": pytest.approx(1 / 3), "local": pytest.approx(2 / 3)}
+        assert snapshot.accuracy == pytest.approx(2 / 3)
+        assert snapshot.mean_batch_size == pytest.approx(1.5)
+        assert snapshot.throughput_rps > 0
+
+    def test_rolling_window_bounds_memory(self):
+        stats = ServerStats(window=4)
+        for index in range(10):
+            stats.observe_batch([self._response(index * 1.0, index * 1.0 + 0.1)])
+        snapshot = stats.snapshot()
+        assert snapshot.total_requests == 10
+        assert snapshot.window_requests == 4
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            ServerStats(window=0)
+
+
+class TestDDNNServer:
+    def test_one_at_a_time_matches_staged_inference(self, trained_ddnn, tiny_test):
+        """Satellite acceptance: request-at-a-time serving is byte-identical
+        to offline StagedInferenceEngine.run on the same model."""
+        offline = StagedInferenceEngine(trained_ddnn, 0.8).run(tiny_test)
+        server = DDNNServer(trained_ddnn, 0.8, policy=BatchingPolicy.sequential())
+        responses = server.serve_dataset(tiny_test)
+        predictions = np.array([response.prediction for response in responses])
+        exits = np.array([response.exit_index for response in responses])
+        entropies = np.array([response.entropy for response in responses])
+        np.testing.assert_array_equal(predictions, offline.predictions)
+        np.testing.assert_array_equal(exits, offline.exit_indices)
+        np.testing.assert_array_equal(entropies, offline.entropies)
+
+    def test_dynamic_batching_matches_staged_inference(self, trained_ddnn, tiny_test):
+        offline = StagedInferenceEngine(trained_ddnn, 0.8).run(tiny_test)
+        server = DDNNServer(
+            trained_ddnn, 0.8, policy=BatchingPolicy(max_batch_size=8, max_wait_s=0.0)
+        )
+        responses = server.serve_dataset(tiny_test)
+        predictions = np.array([response.prediction for response in responses])
+        np.testing.assert_array_equal(predictions, offline.predictions)
+
+    def test_step_respects_policy_then_force_drains(self, trained_ddnn, tiny_test):
+        clock = FakeClock()
+        server = DDNNServer(
+            trained_ddnn,
+            0.8,
+            policy=BatchingPolicy(max_batch_size=4, max_wait_s=60.0),
+            clock=clock,
+        )
+        server.submit(tiny_test.images[0])
+        assert server.step() == []  # neither trigger fired
+        clock.advance(61.0)
+        assert len(server.step()) == 1  # max_wait trigger
+        server.submit(tiny_test.images[1])
+        assert len(server.step(force=True)) == 1
+
+    def test_responses_routed_per_exit(self, trained_ddnn, tiny_test):
+        server = DDNNServer(trained_ddnn, 0.8)
+        responses = server.serve_dataset(tiny_test)
+        by_exit = {name: server.responses_for_exit(name) for name in server.exit_names}
+        assert sum(len(bucket) for bucket in by_exit.values()) == len(responses)
+        for name, bucket in by_exit.items():
+            assert all(response.exit_name == name for response in bucket)
+        with pytest.raises(KeyError):
+            server.responses_for_exit("nope")
+
+    def test_sessions_receive_their_responses(self, trained_ddnn, tiny_test):
+        server = DDNNServer(trained_ddnn, 0.8)
+        server.submit(tiny_test.images[0], client_id="a")
+        server.submit(tiny_test.images[1], client_id="b")
+        server.submit(tiny_test.images[2], client_id="a")
+        server.run_until_drained()
+        assert server.queue.session("a").completed == 2
+        assert server.queue.session("b").completed == 1
+        assert all(r.client_id == "a" for r in server.queue.session("a").responses)
+
+    def test_snapshot_reflects_traffic(self, trained_ddnn, tiny_test):
+        server = DDNNServer(trained_ddnn, 0.8)
+        server.serve_dataset(tiny_test)
+        snapshot = server.snapshot()
+        assert snapshot.total_requests == len(tiny_test)
+        assert sum(snapshot.exit_fractions.values()) == pytest.approx(1.0)
+        assert snapshot.accuracy is not None
+        assert snapshot.mean_latency_s >= 0.0
