@@ -1,0 +1,75 @@
+"""Benchmark S2 — tail latency under open-loop overload, per admission policy.
+
+Drives the DDNN server with a seeded Poisson arrival process on a simulated
+clock (deterministic latencies, real model predictions) and checks the
+overload-safety contract:
+
+* the unbounded FIFO baseline's p95 latency grows with run length once the
+  offered load exceeds capacity — the queue simply keeps deepening;
+* a bounded queue with *any* admission policy (reject / drop-oldest /
+  shed-to-local-exit) keeps p95 finite and inside the analytic bound implied
+  by the queue capacity, paying with an explicit reject/drop/shed rate.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.overload_study import run_overload_study
+
+
+def test_bench_overload_tail_latency(benchmark, scale, record_result):
+    result = benchmark.pedantic(
+        run_overload_study, args=(scale,), rounds=1, iterations=1
+    )
+    record_result(result)
+
+    rows = result.rows
+    bounded = [row for row in rows if row["policy"] != "unbounded"]
+    assert bounded, "no bounded-policy rows produced"
+
+    # Every bounded policy, at every offered load (including >= 2x capacity),
+    # keeps p95 inside the configured capacity-implied bound.
+    for row in bounded:
+        assert row["p95_ms"] <= row["p95_bound_ms"], (
+            f"{row['policy']} at {row['offered_x']}x: p95 {row['p95_ms']:.1f}ms "
+            f"exceeds bound {row['p95_bound_ms']:.1f}ms"
+        )
+
+    # Each policy actually engages under overload: the 2x surplus shows up
+    # as the policy's own signal (reject vs drop vs shed rate).
+    overloaded = {row["policy"]: row for row in bounded if row["offered_x"] == 2.0}
+    assert overloaded["reject"]["reject_pct"] > 10.0
+    assert overloaded["drop-oldest"]["drop_pct"] > 10.0
+    assert overloaded["shed-local"]["shed_pct"] > 10.0
+    # Admission only sheds load it cannot serve: below capacity nothing engages.
+    for row in bounded:
+        if row["offered_x"] <= 0.5:
+            assert row["reject_pct"] + row["drop_pct"] + row["shed_pct"] < 5.0
+
+    # Divergence: the unbounded baseline at 2x capacity re-run with growing
+    # run lengths (same arrival seed) — p95 must grow with run length, and
+    # roughly linearly (the backlog deepens at the surplus rate).
+    # The growth sweep is appended last, one row per growth length.
+    growth = sorted(
+        rows[-len(result.metadata["growth_lengths"]) :],
+        key=lambda row: row["requests"],
+    )
+    assert all(row["policy"] == "unbounded" and row["offered_x"] == 2.0 for row in growth)
+    assert len(growth) >= 3
+    p95s = [row["p95_ms"] for row in growth]
+    assert p95s == sorted(p95s), f"unbounded p95 not monotone in run length: {p95s}"
+    assert p95s[-1] > 2.0 * p95s[0], (
+        f"unbounded p95 should diverge with run length, got {p95s}"
+    )
+    # ... and the bounded policies all beat the unbounded tail at 2x load.
+    unbounded_2x = [
+        row
+        for row in rows
+        if row["policy"] == "unbounded"
+        and row["offered_x"] == 2.0
+        and row["requests"] == result.metadata["num_requests"]
+    ][0]
+    for policy, row in overloaded.items():
+        assert row["p95_ms"] < unbounded_2x["p95_ms"], (
+            f"{policy} p95 {row['p95_ms']:.1f}ms not better than "
+            f"unbounded {unbounded_2x['p95_ms']:.1f}ms"
+        )

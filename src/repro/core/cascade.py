@@ -45,23 +45,46 @@ __all__ = [
 Thresholds = Union[float, Sequence[float]]
 
 
+def _validate_threshold_value(value) -> float:
+    """One threshold: a real, non-negative, non-NaN number (bools rejected)."""
+    if isinstance(value, (bool, np.bool_)):
+        raise ValueError(
+            f"thresholds must be numbers, got bool {value!r} — "
+            "True/False silently coercing to 1.0/0.0 is almost never intended"
+        )
+    value = float(value)
+    if np.isnan(value):
+        raise ValueError("thresholds must not be NaN")
+    if value < 0.0:
+        raise ValueError(f"thresholds must be >= 0 (normalized entropy scale), got {value}")
+    return value
+
+
 def normalize_thresholds(thresholds: Thresholds, num_exits: int) -> List[float]:
     """Normalize user-supplied thresholds to one value per exit.
 
-    Rules (identical for every cascade consumer):
+    Rules (identical for every cascade consumer —
+    :class:`~repro.core.inference.StagedInferenceEngine`,
+    :class:`~repro.hierarchy.runtime.HierarchyRuntime` and
+    :class:`~repro.serving.server.DDNNServer`):
 
     * a single float is broadcast to every exit;
     * a sequence may carry ``num_exits - 1`` values (one per non-final
       exit) or ``num_exits`` values; anything else is a :class:`ValueError`;
+    * booleans, NaN and negative values are rejected with a
+      :class:`ValueError` (a bool would silently coerce to 0.0/1.0, and a
+      NaN threshold would make every exit comparison False);
     * the final exit's threshold is always forced to ``1.0`` because the
       last exit classifies every sample that reaches it.
     """
     if num_exits < 1:
         raise ValueError("a cascade needs at least one exit")
-    if isinstance(thresholds, (int, float)):
-        values = [float(thresholds)] * num_exits
+    if isinstance(thresholds, (bool, np.bool_)) or (
+        isinstance(thresholds, (int, float, np.integer, np.floating))
+    ):
+        values = [_validate_threshold_value(thresholds)] * num_exits
     else:
-        values = [float(t) for t in thresholds]
+        values = [_validate_threshold_value(t) for t in thresholds]
         if len(values) == num_exits - 1:
             values = values + [1.0]
         if len(values) != num_exits:

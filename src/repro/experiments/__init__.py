@@ -16,6 +16,12 @@ from .dataset_stats import run_dataset_stats
 from .edge_hierarchy import run_edge_hierarchy
 from .fault_tolerance import run_fault_tolerance, run_multi_device_failures
 from .mixed_precision import run_mixed_precision
+from .overload_study import (
+    DEFAULT_LOAD_MULTIPLIERS,
+    DEFAULT_POLICIES,
+    queue_latency_bound_s,
+    run_overload_study,
+)
 from .results import ExperimentResult, format_table
 from .runner import (
     ExperimentScale,
@@ -45,6 +51,7 @@ EXPERIMENT_REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
     "ext_edge_hierarchy": run_edge_hierarchy,
     "ext_mixed_precision": run_mixed_precision,
     "serving_throughput": run_serving_throughput,
+    "overload_tail_latency": run_overload_study,
 }
 
 __all__ = [
@@ -75,5 +82,9 @@ __all__ = [
     "run_mixed_precision",
     "run_serving_throughput",
     "DEFAULT_BATCH_SIZES",
+    "run_overload_study",
+    "DEFAULT_LOAD_MULTIPLIERS",
+    "DEFAULT_POLICIES",
+    "queue_latency_bound_s",
     "EXPERIMENT_REGISTRY",
 ]

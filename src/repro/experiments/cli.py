@@ -6,6 +6,7 @@ Usage::
     python -m repro.experiments run table2_fig7_threshold_sweep --scale ci
     python -m repro.experiments run all --scale paper --output-dir results/
     python -m repro.experiments serve-bench --max-batch-size 32 --repeats 4
+    python -m repro.experiments load-bench --policy reject --offered-x 2.0
 
 Each experiment prints its table (the same rows the paper reports) and can
 optionally write it to a text file.
@@ -87,6 +88,69 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory to write the serving table as serving_throughput.txt",
     )
+
+    load_parser = subparsers.add_parser(
+        "load-bench",
+        help="open-loop overload study: tail latency vs offered load per admission policy",
+    )
+    load_parser.add_argument(
+        "--scale",
+        choices=("ci", "paper"),
+        default="ci",
+        help="experiment scale for the model and request stream",
+    )
+    load_parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.8,
+        help="local-exit entropy threshold used by the cascade",
+    )
+    load_parser.add_argument(
+        "--capacity",
+        type=int,
+        default=48,
+        help="request-queue bound used by the admission policies",
+    )
+    load_parser.add_argument(
+        "--max-batch-size",
+        type=int,
+        default=16,
+        help="micro-batch ceiling of the serving policy",
+    )
+    load_parser.add_argument(
+        "--num-requests",
+        type=int,
+        default=400,
+        help="arrivals per run (the divergence sweep uses n/2, n and 2n)",
+    )
+    load_parser.add_argument(
+        "--offered-x",
+        type=float,
+        action="append",
+        dest="load_multipliers",
+        default=None,
+        help="offered load as a multiple of capacity (repeatable; default: 0.5 1.0 2.0 4.0)",
+    )
+    load_parser.add_argument(
+        "--policy",
+        action="append",
+        dest="policies",
+        choices=("unbounded", "reject", "drop-oldest", "shed-local"),
+        default=None,
+        help="admission policy to study (repeatable; default: all four)",
+    )
+    load_parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="base seed for the arrival processes",
+    )
+    load_parser.add_argument(
+        "--output-dir",
+        type=Path,
+        default=None,
+        help="directory to write the table as overload_tail_latency.txt",
+    )
     return parser
 
 
@@ -121,6 +185,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             threshold=args.threshold,
             batch_sizes=batch_sizes,
             repeats=args.repeats,
+        )
+        text = result.to_text()
+        print(text)
+        if args.output_dir is not None:
+            args.output_dir.mkdir(parents=True, exist_ok=True)
+            (args.output_dir / f"{result.name}.txt").write_text(text + "\n")
+        return 0
+
+    if args.command == "load-bench":
+        from .overload_study import (
+            DEFAULT_LOAD_MULTIPLIERS,
+            DEFAULT_POLICIES,
+            run_overload_study,
+        )
+
+        scale = paper_scale() if args.scale == "paper" else ci_scale()
+        result = run_overload_study(
+            scale,
+            threshold=args.threshold,
+            capacity=args.capacity,
+            max_batch_size=args.max_batch_size,
+            load_multipliers=args.load_multipliers or DEFAULT_LOAD_MULTIPLIERS,
+            policies=args.policies or DEFAULT_POLICIES,
+            num_requests=args.num_requests,
+            seed=args.seed,
         )
         text = result.to_text()
         print(text)

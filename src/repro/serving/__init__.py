@@ -5,21 +5,48 @@ upward, most requests exit at the local aggregator, and the cloud only sees
 the hard tail.  This package provides the online counterpart of the offline
 :class:`~repro.core.inference.StagedInferenceEngine`:
 
-* :class:`RequestQueue` / :class:`ClientSession` — FIFO request intake with
-  per-client bookkeeping;
+* :class:`RequestQueue` / :class:`ClientSession` — request intake with
+  per-client bookkeeping, optional capacity bound and QoS weights;
+* :class:`AdmissionPolicy` (:class:`RejectNewest`, :class:`DropOldest`,
+  :class:`ShedToLocalExit`) — what a full queue does under overload;
 * :class:`BatchingPolicy` / :class:`MicroBatcher` — dynamic micro-batching
-  with ``max_batch_size`` and ``max_wait_s`` knobs;
+  with ``max_batch_size`` and ``max_wait_s`` knobs, QoS-weighted draining;
 * :class:`DDNNServer` — a synchronous-loop server draining the queue
   through the shared :class:`~repro.core.cascade.ExitCascade`, routing
-  responses per exit;
+  responses per exit, with an immediate local-exit path for shed requests;
 * :class:`ServerStats` — rolling throughput / latency / exit-rate
-  telemetry.
+  telemetry with pinned window semantics;
+* :class:`LoadGenerator` + arrival processes (:class:`PoissonProcess`,
+  :class:`BurstyProcess`, :class:`TraceReplay`) and :class:`ServiceModel` —
+  deterministic open-loop overload studies on a :class:`SimulatedClock`.
 
 All timing flows through an injectable clock, so scheduling behaviour is
 deterministic under test while real deployments use wall time.
 """
 
+from .admission import (
+    ADMISSION_POLICIES,
+    AdmissionOutcome,
+    AdmissionPolicy,
+    AdmissionResult,
+    AdmissionStats,
+    DropOldest,
+    QueueFullError,
+    RejectNewest,
+    ShedToLocalExit,
+    admission_policy,
+)
 from .batcher import BatchingPolicy, MicroBatcher
+from .loadgen import (
+    ArrivalProcess,
+    BurstyProcess,
+    LoadGenerator,
+    LoadReport,
+    PoissonProcess,
+    ServiceModel,
+    SimulatedClock,
+    TraceReplay,
+)
 from .queue import ClientSession, InferenceRequest, InferenceResponse, RequestQueue
 from .server import DDNNServer
 from .stats import ServerStats, StatsSnapshot
@@ -29,9 +56,27 @@ __all__ = [
     "InferenceResponse",
     "ClientSession",
     "RequestQueue",
+    "AdmissionOutcome",
+    "AdmissionResult",
+    "AdmissionStats",
+    "AdmissionPolicy",
+    "RejectNewest",
+    "DropOldest",
+    "ShedToLocalExit",
+    "QueueFullError",
+    "ADMISSION_POLICIES",
+    "admission_policy",
     "BatchingPolicy",
     "MicroBatcher",
     "DDNNServer",
     "ServerStats",
     "StatsSnapshot",
+    "SimulatedClock",
+    "ArrivalProcess",
+    "PoissonProcess",
+    "BurstyProcess",
+    "TraceReplay",
+    "ServiceModel",
+    "LoadGenerator",
+    "LoadReport",
 ]

@@ -10,6 +10,12 @@ A batch is released as soon as it is full, or as soon as the oldest
 pending request has waited ``max_wait_s``.  ``max_batch_size=1`` degrades
 to sequential (request-at-a-time) serving, which is the baseline the
 throughput benchmark compares against.
+
+Batch *composition* honours per-client QoS weights: draining delegates to
+:meth:`~repro.serving.queue.RequestQueue.pop_batch`, which switches from
+pure FIFO to weighted round-robin once any client weight is configured
+(see :meth:`MicroBatcher.set_client_weight`), so a backlogged high-priority
+client gets proportionally more slots per micro-batch.
 """
 
 from __future__ import annotations
@@ -54,6 +60,10 @@ class MicroBatcher:
         self.policy = policy if policy is not None else BatchingPolicy()
         self.clock = clock if clock is not None else queue.clock
         self.batches_formed = 0
+
+    def set_client_weight(self, client_id: str, weight: float) -> None:
+        """Assign a QoS weight (relative micro-batch share) to a client."""
+        self.queue.set_weight(client_id, weight)
 
     def ready(self, now: Optional[float] = None) -> bool:
         """Whether a batch should be released right now."""

@@ -1,0 +1,415 @@
+"""Open-loop load generation for tail-latency studies of the DDNN server.
+
+Closed-loop drivers (submit, wait, repeat) can never overload a server —
+the arrival rate implicitly tracks the service rate, hiding exactly the
+regime the paper's always-on sensor streams live in.  This module drives
+:class:`~repro.serving.server.DDNNServer` **open-loop**: arrivals follow an
+externally-defined stochastic process that does not care whether the server
+keeps up.
+
+Everything runs on a :class:`SimulatedClock` as a deterministic
+discrete-event simulation:
+
+* an :class:`ArrivalProcess` (:class:`PoissonProcess`, bursty two-state
+  :class:`BurstyProcess` (MMPP), or :class:`TraceReplay`) yields absolute
+  arrival times from a seeded RNG;
+* a :class:`ServiceModel` (affine in batch size: ``overhead + n * per_sample``)
+  stands in for wall-clock compute, so latency numbers are exactly
+  reproducible and independent of the machine running the study;
+* :class:`LoadGenerator` interleaves arrivals and batch completions in
+  simulated-time order, submitting through the server's admission control
+  (:meth:`DDNNServer.offer`) and running real model inference for every
+  served batch — predictions are real, only *time* is simulated.
+
+The per-request latencies, reject/drop/shed rates and tail percentiles are
+summarised in a :class:`LoadReport`.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from .admission import AdmissionOutcome
+from .queue import InferenceResponse
+from .server import DDNNServer
+
+__all__ = [
+    "SimulatedClock",
+    "ArrivalProcess",
+    "PoissonProcess",
+    "BurstyProcess",
+    "TraceReplay",
+    "ServiceModel",
+    "LoadReport",
+    "LoadGenerator",
+]
+
+
+class SimulatedClock:
+    """A manually-advanced time source; never moves backwards."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = float(start)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0.0:
+            raise ValueError(f"cannot advance time by {seconds} (negative)")
+        self.now += seconds
+
+    def advance_to(self, timestamp: float) -> None:
+        """Move to ``timestamp`` if it is in the future; no-op otherwise."""
+        if timestamp > self.now:
+            self.now = timestamp
+
+
+class ArrivalProcess:
+    """Base class: an iterable of monotonically increasing arrival times."""
+
+    def times(self) -> Iterator[float]:
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[float]:
+        return self.times()
+
+
+class PoissonProcess(ArrivalProcess):
+    """Memoryless arrivals: exponential inter-arrival gaps at ``rate_rps``."""
+
+    def __init__(self, rate_rps: float, seed: int = 0, start: float = 0.0) -> None:
+        if not rate_rps > 0.0:
+            raise ValueError(f"rate_rps must be > 0, got {rate_rps}")
+        self.rate_rps = float(rate_rps)
+        self.seed = int(seed)
+        self.start = float(start)
+
+    def times(self) -> Iterator[float]:
+        rng = np.random.default_rng(self.seed)
+        now = self.start
+        while True:
+            now += rng.exponential(1.0 / self.rate_rps)
+            yield now
+
+
+class BurstyProcess(ArrivalProcess):
+    """Two-state Markov-modulated Poisson process (MMPP-2).
+
+    The process alternates between a ``base`` state emitting Poisson
+    arrivals at ``base_rate_rps`` and a ``burst`` state emitting them at
+    ``burst_rate_rps``; dwell times in each state are exponential with the
+    given means.  This reproduces the bursty uplink traffic of clustered
+    end devices (many cameras triggered by the same physical event) that a
+    plain Poisson stream smooths away.
+    """
+
+    def __init__(
+        self,
+        base_rate_rps: float,
+        burst_rate_rps: float,
+        mean_base_dwell_s: float = 1.0,
+        mean_burst_dwell_s: float = 0.25,
+        seed: int = 0,
+        start: float = 0.0,
+    ) -> None:
+        for label, value in (
+            ("base_rate_rps", base_rate_rps),
+            ("burst_rate_rps", burst_rate_rps),
+            ("mean_base_dwell_s", mean_base_dwell_s),
+            ("mean_burst_dwell_s", mean_burst_dwell_s),
+        ):
+            if not value > 0.0:
+                raise ValueError(f"{label} must be > 0, got {value}")
+        self.base_rate_rps = float(base_rate_rps)
+        self.burst_rate_rps = float(burst_rate_rps)
+        self.mean_base_dwell_s = float(mean_base_dwell_s)
+        self.mean_burst_dwell_s = float(mean_burst_dwell_s)
+        self.seed = int(seed)
+        self.start = float(start)
+
+    def mean_rate_rps(self) -> float:
+        """Long-run arrival rate (dwell-time-weighted state mix)."""
+        total = self.mean_base_dwell_s + self.mean_burst_dwell_s
+        return (
+            self.base_rate_rps * self.mean_base_dwell_s
+            + self.burst_rate_rps * self.mean_burst_dwell_s
+        ) / total
+
+    def times(self) -> Iterator[float]:
+        rng = np.random.default_rng(self.seed)
+        now = self.start
+        in_burst = False
+        while True:
+            rate = self.burst_rate_rps if in_burst else self.base_rate_rps
+            dwell = self.mean_burst_dwell_s if in_burst else self.mean_base_dwell_s
+            # Competing exponentials: next arrival vs next state switch.
+            to_arrival = rng.exponential(1.0 / rate)
+            to_switch = rng.exponential(dwell)
+            if to_switch < to_arrival:
+                now += to_switch
+                in_burst = not in_burst
+            else:
+                now += to_arrival
+                yield now
+
+
+class TraceReplay(ArrivalProcess):
+    """Replay an explicit (finite) list of absolute arrival times."""
+
+    def __init__(self, arrival_times: Sequence[float]) -> None:
+        times = [float(t) for t in arrival_times]
+        if any(b < a for a, b in zip(times, times[1:])):
+            raise ValueError("trace arrival times must be non-decreasing")
+        self.arrival_times = times
+
+    def times(self) -> Iterator[float]:
+        return iter(self.arrival_times)
+
+
+@dataclass(frozen=True)
+class ServiceModel:
+    """Affine batch service-time model: ``overhead + n * per_sample``.
+
+    The affine shape is what micro-batching exploits (amortising the fixed
+    overhead over ``n`` samples) and is what the real NumPy forward pass
+    exhibits; :meth:`measure` calibrates the two coefficients from real
+    timings of a server when machine-specific numbers are wanted.
+    """
+
+    batch_overhead_s: float = 0.002
+    per_sample_s: float = 0.001
+
+    def __post_init__(self) -> None:
+        if self.batch_overhead_s < 0.0:
+            raise ValueError(f"batch_overhead_s must be >= 0, got {self.batch_overhead_s}")
+        if not self.per_sample_s > 0.0:
+            raise ValueError(f"per_sample_s must be > 0, got {self.per_sample_s}")
+
+    def batch_time_s(self, batch_size: int) -> float:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        return self.batch_overhead_s + batch_size * self.per_sample_s
+
+    def capacity_rps(self, batch_size: int) -> float:
+        """Sustainable service rate when batches fill to ``batch_size``."""
+        return batch_size / self.batch_time_s(batch_size)
+
+    @classmethod
+    def measure(
+        cls,
+        server: DDNNServer,
+        views: np.ndarray,
+        batch_size: int = 32,
+        repeats: int = 3,
+    ) -> "ServiceModel":
+        """Calibrate from real wall-clock forwards at sizes 1 and ``batch_size``."""
+        if batch_size < 2:
+            raise ValueError("batch_size must be >= 2 to fit two coefficients")
+        views = np.asarray(views)
+
+        def _time(n: int) -> float:
+            batch = np.repeat(views[None], n, axis=0) if views.ndim == 4 else views[:n]
+            best = math.inf
+            for _ in range(repeats):
+                started = time.perf_counter()
+                server.cascade.run_model(server.model, batch, batch_size=n)
+                best = min(best, time.perf_counter() - started)
+            return best
+
+        t_one = _time(1)
+        t_full = _time(batch_size)
+        per_sample = max((t_full - t_one) / (batch_size - 1), 1e-9)
+        overhead = max(t_one - per_sample, 0.0)
+        return cls(batch_overhead_s=overhead, per_sample_s=per_sample)
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one open-loop run: admission counts and latency tails.
+
+    Percentiles are over the *queued-and-served* responses (the primary
+    QoS metric); shed responses are answered immediately at the local exit
+    and counted separately.
+    """
+
+    offered: int
+    served: int
+    rejected: int
+    dropped: int
+    shed: int
+    duration_s: float
+    offered_rate_rps: float
+    mean_latency_s: float = 0.0
+    p50_latency_s: float = 0.0
+    p95_latency_s: float = 0.0
+    p99_latency_s: float = 0.0
+    max_latency_s: float = 0.0
+    responses: List[InferenceResponse] = field(default_factory=list)
+    shed_responses: List[InferenceResponse] = field(default_factory=list)
+
+    @property
+    def reject_rate(self) -> float:
+        return self.rejected / self.offered if self.offered else 0.0
+
+    @property
+    def drop_rate(self) -> float:
+        return self.dropped / self.offered if self.offered else 0.0
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.offered if self.offered else 0.0
+
+
+class LoadGenerator:
+    """Drives a server with an open-loop arrival process in simulated time.
+
+    Parameters
+    ----------
+    server:
+        A :class:`DDNNServer` built on the *same* :class:`SimulatedClock`
+        instance passed here — the generator owns time, the server stamps
+        requests and responses with it.
+    process:
+        The arrival process; each arrival submits one sample.
+    views:
+        Samples cycled through in arrival order, shape
+        ``(num_samples, num_devices, C, H, W)``.
+    targets:
+        Optional labels aligned with ``views`` (enables accuracy tracking).
+    service_model:
+        Simulated compute cost per micro-batch.
+    clients:
+        Client ids assigned round-robin to arrivals.
+    """
+
+    def __init__(
+        self,
+        server: DDNNServer,
+        process: ArrivalProcess,
+        views: np.ndarray,
+        targets: Optional[Sequence[int]] = None,
+        service_model: Optional[ServiceModel] = None,
+        clients: Sequence[str] = ("client-0",),
+    ) -> None:
+        if not isinstance(server.clock, SimulatedClock):
+            raise TypeError(
+                "LoadGenerator needs a server built on a SimulatedClock "
+                "(pass clock=SimulatedClock() to DDNNServer)"
+            )
+        views = np.asarray(views)
+        if views.ndim != 5:
+            raise ValueError(
+                f"views must have shape (num_samples, num_devices, C, H, W), got {views.shape}"
+            )
+        if targets is not None and len(targets) != len(views):
+            raise ValueError("targets must align with views")
+        if not clients:
+            raise ValueError("at least one client id is required")
+        self.server = server
+        self.clock: SimulatedClock = server.clock
+        self.process = process
+        self.views = views
+        self.targets = None if targets is None else [int(t) for t in targets]
+        self.service_model = service_model if service_model is not None else ServiceModel()
+        self.clients = list(clients)
+
+    # ------------------------------------------------------------------ #
+    def _next_release_time(self, busy_until: float, draining: bool) -> float:
+        """When the next micro-batch may start, given queue state and policy."""
+        queue = self.server.queue
+        head = queue.peek_oldest()
+        if head is None:
+            return math.inf
+        policy = self.server.batcher.policy
+        if draining or len(queue) >= policy.max_batch_size:
+            trigger = self.clock.now
+        else:
+            trigger = head.enqueue_time + policy.max_wait_s
+        return max(trigger, busy_until, self.clock.now)
+
+    def run(self, num_requests: int) -> LoadReport:
+        """Generate ``num_requests`` arrivals, then drain; returns the report.
+
+        A finite :class:`TraceReplay` may end the run early.  Batches start
+        when the batching policy fires *and* the (single) serving worker is
+        free; each batch occupies the worker for the service model's batch
+        time, which is how sustained overload turns into queueing delay.
+        """
+        if num_requests < 1:
+            raise ValueError(f"num_requests must be >= 1, got {num_requests}")
+        arrivals = iter(self.process)
+        next_arrival = next(arrivals, None)
+        started_at = self.clock.now
+        busy_until = self.clock.now
+        submitted = 0
+        rejected = 0
+        shed = 0
+        dropped = 0
+        responses: List[InferenceResponse] = []
+        shed_responses: List[InferenceResponse] = []
+
+        while True:
+            arrivals_open = submitted < num_requests and next_arrival is not None
+            if not arrivals_open and len(self.server.queue) == 0:
+                break
+            arrival_time = next_arrival if arrivals_open else math.inf
+            release_time = self._next_release_time(busy_until, draining=not arrivals_open)
+
+            if arrival_time <= release_time:
+                # Arrivals first on ties so a sample landing exactly at a
+                # release instant still joins that batch, like live traffic.
+                self.clock.advance_to(arrival_time)
+                index = submitted % len(self.views)
+                result = self.server.offer(
+                    self.views[index],
+                    client_id=self.clients[submitted % len(self.clients)],
+                    target=None if self.targets is None else self.targets[index],
+                )
+                if result.outcome is AdmissionOutcome.REJECTED:
+                    rejected += 1
+                elif result.outcome is AdmissionOutcome.SHED:
+                    shed += 1
+                    session = self.server.queue.session(result.request.client_id)
+                    if session.responses:
+                        shed_responses.append(session.responses[-1])
+                elif result.evicted is not None:
+                    dropped += 1
+                submitted += 1
+                next_arrival = next(arrivals, None)
+                continue
+
+            # A batch is due: the policy trigger fired and the worker is free.
+            self.clock.advance_to(release_time)
+            batch = self.server.batcher.next_batch(force=True)
+            if not batch:  # pragma: no cover - defensive; queue was non-empty
+                break
+            self.clock.advance(self.service_model.batch_time_s(len(batch)))
+            responses.extend(self.server.process_batch(batch))
+            busy_until = self.clock.now
+
+        duration = max(self.clock.now - started_at, 0.0)
+        latencies = np.array([response.latency_s for response in responses])
+        report = LoadReport(
+            offered=submitted,
+            served=len(responses),
+            rejected=rejected,
+            dropped=dropped,
+            shed=shed,
+            duration_s=duration,
+            offered_rate_rps=submitted / duration if duration > 0 else 0.0,
+            responses=responses,
+            shed_responses=shed_responses,
+        )
+        if latencies.size:
+            report.mean_latency_s = float(latencies.mean())
+            report.p50_latency_s = float(np.percentile(latencies, 50))
+            report.p95_latency_s = float(np.percentile(latencies, 95))
+            report.p99_latency_s = float(np.percentile(latencies, 99))
+            report.max_latency_s = float(latencies.max())
+        return report

@@ -2,10 +2,20 @@
 
 End devices in the paper stream samples upward continuously; the serving
 subsystem models that traffic as :class:`InferenceRequest` objects flowing
-through a FIFO :class:`RequestQueue`.  Each producer is tracked by a
+through a :class:`RequestQueue`.  Each producer is tracked by a
 :class:`ClientSession` so per-client backlog and completion counts are
 observable.  Timestamps come from an injectable ``clock`` callable, which
 keeps the scheduler fully deterministic under test.
+
+The queue is unbounded FIFO by default — bit-identical to the original
+serving behaviour.  Two opt-in mechanisms make it overload-safe:
+
+* ``capacity`` bounds the backlog; a full queue consults an
+  :class:`~repro.serving.admission.AdmissionPolicy` (reject / drop-oldest /
+  shed-to-local-exit) for every further arrival;
+* per-client QoS weights (:meth:`RequestQueue.set_weight`) switch batch
+  draining from pure FIFO to weighted round-robin, so a backlogged
+  high-priority client gets proportionally more slots per micro-batch.
 """
 
 from __future__ import annotations
@@ -16,6 +26,15 @@ from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional
 
 import numpy as np
+
+from .admission import (
+    AdmissionOutcome,
+    AdmissionPolicy,
+    AdmissionResult,
+    AdmissionStats,
+    QueueFullError,
+    RejectNewest,
+)
 
 __all__ = ["InferenceRequest", "InferenceResponse", "ClientSession", "RequestQueue"]
 
@@ -49,6 +68,9 @@ class InferenceResponse:
     enqueue_time: float = 0.0
     completion_time: float = 0.0
     batch_size: int = 1
+    #: True when admission shed this request to the local exit instead of
+    #: queueing it — the answer is immediate but local-exit-only.
+    shed: bool = False
 
     @property
     def latency_s(self) -> float:
@@ -65,36 +87,91 @@ class InferenceResponse:
 
 @dataclass
 class ClientSession:
-    """Per-client bookkeeping: what was submitted and what came back."""
+    """Per-client bookkeeping: what was submitted and what came back.
+
+    ``retention`` bounds how many delivered responses are kept (``None``
+    keeps all — only sensible for short-lived servers).  The integer
+    counters are exact regardless of retention.
+    """
 
     client_id: str
+    retention: Optional[int] = None
     submitted: int = 0
     completed: int = 0
-    responses: List[InferenceResponse] = field(default_factory=list)
+    rejected: int = 0
+    dropped: int = 0
+    shed: int = 0
+    weight: float = 1.0
+    responses: Deque[InferenceResponse] = field(default_factory=deque)
+
+    def __post_init__(self) -> None:
+        self.responses = deque(self.responses, maxlen=self.retention)
 
     @property
     def in_flight(self) -> int:
-        return self.submitted - self.completed
+        """Accepted requests still waiting for (or being served) an answer."""
+        return self.submitted - self.completed - self.dropped
 
     def deliver(self, response: InferenceResponse) -> None:
-        self.completed += 1
+        """Record a response; shed answers never counted as ``submitted``."""
+        if not response.shed:
+            self.completed += 1
         self.responses.append(response)
 
 
 class RequestQueue:
-    """FIFO queue of inference requests with client-session tracking."""
+    """Request intake with client sessions, optional bound and QoS weights.
 
-    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+    Parameters
+    ----------
+    clock:
+        Time source for enqueue stamps (injectable for deterministic tests).
+    capacity:
+        Maximum backlog; ``None`` (default) is unbounded and never consults
+        the admission policy, preserving the original FIFO behaviour.
+    admission:
+        Policy applied when the bounded queue is full; defaults to
+        :class:`~repro.serving.admission.RejectNewest`.
+    retention:
+        Per-session response-history bound handed to new
+        :class:`ClientSession` objects (``None`` keeps everything).
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.perf_counter,
+        capacity: Optional[int] = None,
+        admission: Optional[AdmissionPolicy] = None,
+        retention: Optional[int] = None,
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 (or None for unbounded), got {capacity}")
+        if retention is not None and retention < 1:
+            raise ValueError(f"retention must be >= 1 (or None for unlimited), got {retention}")
         self.clock = clock
+        self.capacity = capacity
+        self.admission = admission if admission is not None else RejectNewest()
+        self.retention = retention
+        self.admission_stats = AdmissionStats()
         self._pending: Deque[InferenceRequest] = deque()
         self._sessions: Dict[str, ClientSession] = {}
+        self._weights: Dict[str, float] = {}
+        # Deficit-round-robin state carried across pop_batch calls: fractional
+        # credit per *backlogged* client (idle clients are dropped — no
+        # banking), and the client whose turn comes next.  Both must persist
+        # or small batches break proportionality: without credit carry-over a
+        # weight-<1 client never reaches a whole credit inside one pop and is
+        # starved; without the pointer every pop restarts at the same client
+        # and weights degrade toward plain round-robin.
+        self._qos_credits: Dict[str, float] = {}
+        self._qos_next: Optional[str] = None
         self._next_id = 0
 
     # ------------------------------------------------------------------ #
     def session(self, client_id: str) -> ClientSession:
         """Fetch (or lazily create) the session for a client."""
         if client_id not in self._sessions:
-            self._sessions[client_id] = ClientSession(client_id)
+            self._sessions[client_id] = ClientSession(client_id, retention=self.retention)
         return self._sessions[client_id]
 
     @property
@@ -102,13 +179,32 @@ class RequestQueue:
         return dict(self._sessions)
 
     # ------------------------------------------------------------------ #
-    def submit(
-        self,
-        views: np.ndarray,
-        client_id: str = "default",
-        target: Optional[int] = None,
+    def set_weight(self, client_id: str, weight: float) -> None:
+        """Assign a QoS weight to a client (relative micro-batch share).
+
+        Setting any weight switches :meth:`pop_batch` from pure FIFO to
+        weighted round-robin over the backlogged clients; a client with
+        weight 2.0 gets twice the slots of a weight-1.0 client while both
+        are backlogged.  Unset clients default to 1.0.
+        """
+        weight = float(weight)
+        if not weight > 0.0:
+            raise ValueError(f"QoS weight must be > 0, got {weight}")
+        self._weights[client_id] = weight
+        self.session(client_id).weight = weight
+
+    def weight(self, client_id: str) -> float:
+        return self._weights.get(client_id, 1.0)
+
+    @property
+    def weighted(self) -> bool:
+        """Whether any QoS weight has been configured."""
+        return bool(self._weights)
+
+    # ------------------------------------------------------------------ #
+    def _build_request(
+        self, views: np.ndarray, client_id: str, target: Optional[int]
     ) -> InferenceRequest:
-        """Enqueue one sample; returns the assigned request."""
         views = np.asarray(views)
         if views.ndim != 4:
             raise ValueError(
@@ -122,9 +218,75 @@ class RequestQueue:
             enqueue_time=self.clock(),
         )
         self._next_id += 1
-        self._pending.append(request)
-        self.session(client_id).submitted += 1
         return request
+
+    def offer(
+        self,
+        views: np.ndarray,
+        client_id: str = "default",
+        target: Optional[int] = None,
+    ) -> AdmissionResult:
+        """Offer one sample to the queue; admission decides its fate.
+
+        Always accepted while the queue has room (or is unbounded); a full
+        bounded queue asks the admission policy, yielding ``ACCEPTED``
+        (after evicting the head under drop-oldest), ``REJECTED`` or
+        ``SHED`` (stamped request returned un-enqueued for local-exit
+        handling by the caller).
+        """
+        session = self.session(client_id)
+        evicted: Optional[InferenceRequest] = None
+        if self.capacity is not None and len(self._pending) >= self.capacity:
+            outcome = self.admission.decide(self, client_id)
+            if outcome is AdmissionOutcome.REJECTED:
+                self.admission_stats.rejected += 1
+                session.rejected += 1
+                return AdmissionResult(AdmissionOutcome.REJECTED)
+            if outcome is AdmissionOutcome.SHED:
+                request = self._build_request(views, client_id, target)
+                self.admission_stats.shed += 1
+                session.shed += 1
+                return AdmissionResult(AdmissionOutcome.SHED, request=request)
+            # ACCEPTED while full: evict the head-of-line request.
+            evicted = self._pending.popleft()
+            self.admission_stats.dropped += 1
+            self.session(evicted.client_id).dropped += 1
+        request = self._build_request(views, client_id, target)
+        self._pending.append(request)
+        session.submitted += 1
+        self.admission_stats.accepted += 1
+        return AdmissionResult(AdmissionOutcome.ACCEPTED, request=request, evicted=evicted)
+
+    def submit(
+        self,
+        views: np.ndarray,
+        client_id: str = "default",
+        target: Optional[int] = None,
+    ) -> InferenceRequest:
+        """Enqueue one sample; returns the assigned request.
+
+        With the default unbounded queue this never fails.  On a bounded
+        queue a refused offer raises :class:`QueueFullError` — callers that
+        want to handle overload outcomes use :meth:`offer`.  A bare queue
+        cannot produce the local-exit answer a ``SHED`` outcome promises
+        (that is the server's job), so here a shed decision is recounted as
+        a rejection before raising — counters never claim an answer that
+        was not delivered.
+        """
+        result = self.offer(views, client_id=client_id, target=target)
+        if result.outcome is AdmissionOutcome.ACCEPTED:
+            assert result.request is not None
+            return result.request
+        if result.outcome is AdmissionOutcome.SHED:
+            session = self.session(client_id)
+            self.admission_stats.shed -= 1
+            session.shed -= 1
+            self.admission_stats.rejected += 1
+            session.rejected += 1
+        raise QueueFullError(
+            f"queue full (capacity={self.capacity}): admission refused the "
+            "request — use offer() to handle overload outcomes"
+        )
 
     def __len__(self) -> int:
         return len(self._pending)
@@ -139,11 +301,68 @@ class RequestQueue:
         now = self.clock() if now is None else now
         return now - self._pending[0].enqueue_time
 
+    # ------------------------------------------------------------------ #
     def pop_batch(self, max_size: int) -> List[InferenceRequest]:
-        """Dequeue up to ``max_size`` requests in FIFO order."""
+        """Dequeue up to ``max_size`` requests.
+
+        Pure FIFO until any QoS weight is configured; then weighted
+        round-robin over backlogged clients (see :meth:`set_weight`), with
+        each client's own requests still served in FIFO order.
+        """
         if max_size < 1:
             raise ValueError("max_size must be at least 1")
+        if not self._weights:
+            batch: List[InferenceRequest] = []
+            while self._pending and len(batch) < max_size:
+                batch.append(self._pending.popleft())
+            return batch
+        return self._pop_weighted(max_size)
+
+    def _pop_weighted(self, max_size: int) -> List[InferenceRequest]:
+        # Group the backlog per client, clients ordered by their oldest
+        # pending request (deterministic, arrival-based).
+        per_client: Dict[str, Deque[InferenceRequest]] = {}
+        order: List[str] = []
+        for request in self._pending:
+            if request.client_id not in per_client:
+                per_client[request.client_id] = deque()
+                order.append(request.client_id)
+            per_client[request.client_id].append(request)
+
+        # Resume the circular visiting order where the previous pop stopped.
+        if self._qos_next in per_client:
+            start = order.index(self._qos_next)
+            order = order[start:] + order[:start]
+
         batch: List[InferenceRequest] = []
-        while self._pending and len(batch) < max_size:
-            batch.append(self._pending.popleft())
+        credits = {client_id: self._qos_credits.get(client_id, 0.0) for client_id in order}
+        # Deficit round-robin: on each visit a backlogged client earns its
+        # weight in credit and serves one request per whole credit.
+        visit = 0
+        last_visited: Optional[str] = None
+        while len(batch) < max_size and any(per_client[c] for c in order):
+            client_id = order[visit % len(order)]
+            visit += 1
+            if not per_client[client_id]:
+                credits[client_id] = 0.0  # no banking credit while idle
+                continue
+            last_visited = client_id
+            credits[client_id] += self.weight(client_id)
+            while (
+                credits[client_id] >= 1.0
+                and per_client[client_id]
+                and len(batch) < max_size
+            ):
+                batch.append(per_client[client_id].popleft())
+                credits[client_id] -= 1.0
+        if last_visited is not None:
+            self._qos_next = order[(order.index(last_visited) + 1) % len(order)]
+        # Carry fractional credit forward only for still-backlogged clients.
+        self._qos_credits = {
+            client_id: credits[client_id] for client_id in order if per_client[client_id]
+        }
+        taken = {request.request_id for request in batch}
+        self._pending = deque(
+            request for request in self._pending if request.request_id not in taken
+        )
         return batch

@@ -1,29 +1,37 @@
 """Online DDNN inference server over the shared exit cascade.
 
-:class:`DDNNServer` is a synchronous-loop server: clients ``submit()``
-multi-view samples into the request queue, and each ``step()`` drains one
-micro-batch through the :class:`~repro.core.cascade.ExitCascade`, producing
-one :class:`~repro.serving.queue.InferenceResponse` per request.  Responses
-are routed per exit (local / edge / cloud outboxes) — mirroring the paper's
-deployment, where locally-exited answers never leave the local aggregator
-while cloud-exited ones return from the upper tier — and delivered to the
-issuing client's session.
+:class:`DDNNServer` is a synchronous-loop server: clients ``submit()`` (or
+``offer()``) multi-view samples into the request queue, and each ``step()``
+drains one micro-batch through the :class:`~repro.core.cascade.ExitCascade`,
+producing one :class:`~repro.serving.queue.InferenceResponse` per request.
+Responses are routed per exit (local / edge / cloud outboxes) — mirroring
+the paper's deployment, where locally-exited answers never leave the local
+aggregator while cloud-exited ones return from the upper tier — and
+delivered to the issuing client's session.
 
-Because the server runs the exact same cascade as
-:class:`~repro.core.inference.StagedInferenceEngine`, online serving is
-numerically identical to offline batch inference (covered by tests).
+Overload safety is opt-in: a bounded ``capacity`` plus an
+:class:`~repro.serving.admission.AdmissionPolicy` keeps the backlog (and
+therefore tail latency) finite under sustained overload, and per-client QoS
+weights bias micro-batch slots toward high-priority clients.  With the
+defaults (unbounded queue, no weights) the server runs the exact same
+cascade as :class:`~repro.core.inference.StagedInferenceEngine`, so online
+serving is numerically identical to offline batch inference (covered by
+tests).
 """
 
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, List, Optional
+from collections import deque
+from typing import Callable, Deque, Dict, List, Mapping, Optional
 
 import numpy as np
 
 from ..core.cascade import ExitCascade, Thresholds
 from ..core.ddnn import DDNN
 from ..datasets.mvmc import MVMCDataset
+from ..nn.tensor import no_grad
+from .admission import AdmissionOutcome, AdmissionPolicy, AdmissionResult, QueueFullError
 from .batcher import BatchingPolicy, MicroBatcher
 from .queue import InferenceRequest, InferenceResponse, RequestQueue
 from .stats import ServerStats, StatsSnapshot
@@ -47,6 +55,21 @@ class DDNNServer:
     clock:
         Time source for enqueue/completion stamps; injectable for
         deterministic tests.
+    stats_window:
+        Rolling-telemetry window (most recent completed requests).
+    capacity:
+        Request-queue bound; ``None`` (default) is unbounded and never
+        rejects — today's behaviour, bit for bit.
+    admission:
+        Full-queue policy (reject / drop-oldest / shed-to-local-exit);
+        only consulted when ``capacity`` is set.
+    client_weights:
+        Optional ``{client_id: weight}`` QoS map; configuring any weight
+        switches batch draining to weighted round-robin.
+    retention:
+        Bound on per-session response history and per-exit outboxes;
+        defaults to ``stats_window`` so a long-lived server's memory stays
+        bounded without configuration.  Counters remain exact.
     """
 
     def __init__(
@@ -56,16 +79,28 @@ class DDNNServer:
         policy: Optional[BatchingPolicy] = None,
         clock: Callable[[], float] = time.perf_counter,
         stats_window: int = 1024,
+        capacity: Optional[int] = None,
+        admission: Optional[AdmissionPolicy] = None,
+        client_weights: Optional[Mapping[str, float]] = None,
+        retention: Optional[int] = None,
     ) -> None:
         self.model = model
         self.cascade = ExitCascade.for_model(model, thresholds)
         self.clock = clock
         self.policy = policy if policy is not None else BatchingPolicy()
-        self.queue = RequestQueue(clock=clock)
+        self.retention = stats_window if retention is None else retention
+        self.queue = RequestQueue(
+            clock=clock,
+            capacity=capacity,
+            admission=admission,
+            retention=self.retention,
+        )
+        for client_id, weight in dict(client_weights or {}).items():
+            self.queue.set_weight(client_id, weight)
         self.batcher = MicroBatcher(self.queue, self.policy, clock)
         self.stats = ServerStats(window=stats_window)
-        self._exit_outboxes: Dict[str, List[InferenceResponse]] = {
-            name: [] for name in self.cascade.exit_names
+        self._exit_outboxes: Dict[str, Deque[InferenceResponse]] = {
+            name: deque(maxlen=self.retention) for name in self.cascade.exit_names
         }
 
     # ------------------------------------------------------------------ #
@@ -74,7 +109,11 @@ class DDNNServer:
         return list(self.cascade.exit_names)
 
     def responses_for_exit(self, exit_name: str) -> List[InferenceResponse]:
-        """All responses the named exit classified, in completion order."""
+        """Recent responses the named exit classified, in completion order.
+
+        Bounded by ``retention``; lifetime per-exit totals are in the
+        rolling stats' exit fractions and the session counters.
+        """
         if exit_name not in self._exit_outboxes:
             raise KeyError(f"no exit named '{exit_name}' (have {self.exit_names})")
         return list(self._exit_outboxes[exit_name])
@@ -83,6 +122,10 @@ class DDNNServer:
         """Current rolling telemetry reading."""
         return self.stats.snapshot()
 
+    def set_client_weight(self, client_id: str, weight: float) -> None:
+        """Assign a QoS weight (relative micro-batch share) to a client."""
+        self.queue.set_weight(client_id, weight)
+
     # ------------------------------------------------------------------ #
     def submit(
         self,
@@ -90,8 +133,63 @@ class DDNNServer:
         client_id: str = "default",
         target: Optional[int] = None,
     ) -> int:
-        """Enqueue one multi-view sample; returns its request id."""
-        return self.queue.submit(views, client_id=client_id, target=target).request_id
+        """Enqueue one multi-view sample; returns its request id.
+
+        Under a shed-to-local-exit policy a sample that cannot be queued is
+        still *answered* — immediately, from the local exit — and its id is
+        returned like any other (the response is already in the client's
+        session).  Only an outright rejection raises
+        :class:`~repro.serving.admission.QueueFullError`; overload-aware
+        callers use :meth:`offer` to branch on the outcome instead.
+        """
+        result = self.offer(views, client_id=client_id, target=target)
+        if result.request is None:
+            raise QueueFullError(
+                f"queue full (capacity={self.queue.capacity}): request rejected "
+                "— use offer() to handle overload outcomes"
+            )
+        return result.request.request_id
+
+    def offer(
+        self,
+        views: np.ndarray,
+        client_id: str = "default",
+        target: Optional[int] = None,
+    ) -> AdmissionResult:
+        """Offer one sample, honouring admission control.
+
+        On a ``SHED`` outcome the request is answered *immediately* from
+        the cascade's first (local) exit — bounded latency, degraded
+        confidence — and the response is delivered to the client session
+        and local outbox before this method returns.
+        """
+        result = self.queue.offer(views, client_id=client_id, target=target)
+        if result.outcome is AdmissionOutcome.SHED and result.request is not None:
+            self._shed_to_local(result.request)
+        return result
+
+    def _shed_to_local(self, request: InferenceRequest) -> InferenceResponse:
+        """Answer a shed request from the local exit, bypassing the queue."""
+        self.model.eval()
+        with no_grad():
+            output = self.model(request.views[None])
+        decision = self.cascade.criteria[0].evaluate(output.exit_logits[0])
+        response = InferenceResponse(
+            request_id=request.request_id,
+            client_id=request.client_id,
+            prediction=int(decision.predictions[0]),
+            exit_index=0,
+            exit_name=self.cascade.exit_names[0],
+            entropy=float(decision.entropies[0]),
+            target=request.target,
+            enqueue_time=request.enqueue_time,
+            completion_time=self.clock(),
+            batch_size=1,
+            shed=True,
+        )
+        self._exit_outboxes[response.exit_name].append(response)
+        self.queue.session(request.client_id).deliver(response)
+        return response
 
     def step(self, force: bool = False) -> List[InferenceResponse]:
         """Process at most one micro-batch; returns its responses.
@@ -103,7 +201,7 @@ class DDNNServer:
         batch = self.batcher.next_batch(force=force)
         if not batch:
             return []
-        return self._process(batch)
+        return self.process_batch(batch)
 
     def run_until_drained(self) -> List[InferenceResponse]:
         """Serve micro-batches until the queue is empty."""
@@ -117,20 +215,48 @@ class DDNNServer:
     ) -> List[InferenceResponse]:
         """Submit every dataset sample, drain the queue, return responses.
 
-        Responses are returned in submission (dataset) order regardless of
-        batch composition, so the result lines up with ``dataset.labels``.
+        Only responses to *this call's* submissions are returned, in
+        submission (dataset) order regardless of batch composition or any
+        pre-existing backlog from other clients, so the result lines up
+        with ``dataset.labels``.  Backlogged requests drained along the way
+        are still delivered to their own sessions and outboxes.
+
+        On a bounded queue, micro-batches are drained whenever the next
+        submission would hit the capacity limit, so admission control never
+        rejects, evicts or sheds a dataset sample — every sample gets a
+        full cascade answer.  The unbounded default submits everything
+        first and drains once, exactly as before.
         """
+        submitted_ids = set()
+        responses: List[InferenceResponse] = []
         for index in range(len(dataset)):
-            self.submit(
-                dataset.images[index],
-                client_id=client_id,
-                target=int(dataset.labels[index]),
+            while (
+                self.queue.capacity is not None
+                and len(self.queue) >= self.queue.capacity
+            ):
+                responses.extend(self.step(force=True))
+            submitted_ids.add(
+                self.submit(
+                    dataset.images[index],
+                    client_id=client_id,
+                    target=int(dataset.labels[index]),
+                )
             )
-        responses = self.run_until_drained()
+        responses.extend(self.run_until_drained())
+        responses = [
+            response for response in responses if response.request_id in submitted_ids
+        ]
         return sorted(responses, key=lambda response: response.request_id)
 
     # ------------------------------------------------------------------ #
-    def _process(self, batch: List[InferenceRequest]) -> List[InferenceResponse]:
+    def process_batch(self, batch: List[InferenceRequest]) -> List[InferenceResponse]:
+        """Run one already-popped micro-batch through the cascade.
+
+        Public so external schedulers (e.g. the open-loop load generator)
+        can control *when* a batch runs while reusing the exact serving
+        path: completion stamps, per-exit routing, session delivery and
+        rolling stats.
+        """
         views = np.stack([request.views for request in batch])
         routed = self.cascade.run_model(self.model, views, batch_size=len(batch))
         completion_time = self.clock()

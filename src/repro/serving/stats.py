@@ -1,17 +1,34 @@
 """Rolling serving telemetry: throughput, latency and exit rates.
 
-:class:`ServerStats` keeps bounded deques of the most recent responses so a
-long-lived server can report a stable rolling picture of its behaviour —
-requests per second, latency percentiles and the fraction of traffic each
-exit absorbs — without unbounded memory growth.  Lifetime totals are kept
-as plain counters.
+:class:`ServerStats` keeps bounded state about the most recent responses so
+a long-lived server can report a stable rolling picture of its behaviour
+without unbounded memory growth.  Lifetime totals are plain exact counters.
+
+Window semantics (defined once, pinned by tests):
+
+* The **request window** is the most recent ``window`` completed requests.
+  Latency percentiles, exit fractions and accuracy are computed over
+  exactly those requests.
+* The **batch window** is the trailing sequence of completed micro-batches
+  that covers the request window: the oldest batch is evicted only once the
+  *remaining* batches still cover at least ``window`` requests.  Mean batch
+  size is computed over those batches, so both windows describe the same
+  trailing traffic instead of drifting apart (requests vs batches).
+* **Throughput** is measured between batch-completion events: the number of
+  requests completed strictly after the batch window's oldest event,
+  divided by the elapsed time since it.  This counts whole batches against
+  real elapsed time — the previous per-response formula
+  ``(len(completions) - 1) / span`` overcounted batched completions (a
+  32-deep batch contributed 31 "instantaneous" completions) and undercounted
+  small windows.  At least two completion events are needed; otherwise the
+  rate is reported as 0.0.
 """
 
 from __future__ import annotations
 
 from collections import Counter, deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Iterable, Optional
+from typing import Deque, Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
@@ -33,6 +50,7 @@ class StatsSnapshot:
     p95_latency_s: float
     max_latency_s: float
     mean_batch_size: float
+    window_batches: int = 0
     exit_fractions: Dict[str, float] = field(default_factory=dict)
     accuracy: Optional[float] = None
 
@@ -47,10 +65,13 @@ class ServerStats:
         self.total_requests = 0
         self.total_batches = 0
         self._latencies: Deque[float] = deque(maxlen=window)
-        self._completions: Deque[float] = deque(maxlen=window)
         self._exit_names: Deque[str] = deque(maxlen=window)
-        self._batch_sizes: Deque[int] = deque(maxlen=window)
         self._correct: Deque[bool] = deque(maxlen=window)
+        #: (completion_time, batch_size) per micro-batch; evicted manually so
+        #: the retained batches always cover the request window (see module
+        #: docstring).
+        self._batch_events: Deque[Tuple[float, int]] = deque()
+        self._batch_events_requests = 0  # running sum of retained batch sizes
 
     def observe_batch(self, responses: Iterable[InferenceResponse]) -> None:
         """Fold one completed micro-batch into the rolling window."""
@@ -58,16 +79,37 @@ class ServerStats:
         if not responses:
             return
         self.total_batches += 1
-        self._batch_sizes.append(len(responses))
+        self._batch_events.append((responses[-1].completion_time, len(responses)))
+        self._batch_events_requests += len(responses)
+        # Always retain at least two events: throughput is measured *between*
+        # completion events, so a window no larger than one micro-batch must
+        # still keep the previous event as the reference point.
+        while (
+            len(self._batch_events) > 2
+            and self._batch_events_requests - self._batch_events[0][1] >= self.window
+        ):
+            _, evicted = self._batch_events.popleft()
+            self._batch_events_requests -= evicted
         for response in responses:
             self.total_requests += 1
             self._latencies.append(response.latency_s)
-            self._completions.append(response.completion_time)
             self._exit_names.append(response.exit_name)
             if response.correct is not None:
                 self._correct.append(response.correct)
 
     # ------------------------------------------------------------------ #
+    def _window_throughput(self) -> float:
+        """Requests/second across the batch window's completion events."""
+        if len(self._batch_events) < 2:
+            return 0.0
+        oldest_time, oldest_size = self._batch_events[0]
+        newest_time, _ = self._batch_events[-1]
+        span = newest_time - oldest_time
+        if span <= 0.0:
+            return 0.0
+        completed_after_oldest = self._batch_events_requests - oldest_size
+        return completed_after_oldest / span
+
     def snapshot(self) -> StatsSnapshot:
         """Summarise the current rolling window."""
         if not self._latencies:
@@ -81,19 +123,9 @@ class ServerStats:
                 p95_latency_s=0.0,
                 max_latency_s=0.0,
                 mean_batch_size=0.0,
+                window_batches=0,
             )
         latencies = np.asarray(self._latencies)
-        completions = np.asarray(self._completions)
-        span = float(completions.max() - completions.min())
-        # A single completion instant (e.g. one batch so far) has no
-        # measurable span; report the window count over the mean latency
-        # as the best-effort rate instead of dividing by zero.
-        if span > 0.0:
-            throughput = (len(completions) - 1) / span
-        elif latencies.mean() > 0.0:
-            throughput = len(completions) / latencies.mean()
-        else:
-            throughput = 0.0
         counts = Counter(self._exit_names)
         fractions = {
             name: counts[name] / len(self._exit_names) for name in sorted(counts)
@@ -103,12 +135,13 @@ class ServerStats:
             total_requests=self.total_requests,
             total_batches=self.total_batches,
             window_requests=len(latencies),
-            throughput_rps=float(throughput),
+            throughput_rps=self._window_throughput(),
             mean_latency_s=float(latencies.mean()),
             p50_latency_s=float(np.percentile(latencies, 50)),
             p95_latency_s=float(np.percentile(latencies, 95)),
             max_latency_s=float(latencies.max()),
-            mean_batch_size=float(np.mean(self._batch_sizes)),
+            mean_batch_size=self._batch_events_requests / len(self._batch_events),
+            window_batches=len(self._batch_events),
             exit_fractions=fractions,
             accuracy=accuracy,
         )

@@ -45,6 +45,34 @@ class TestNormalizeThresholds:
         with pytest.raises(ValueError):
             build_exit_criteria([1.5], ["local", "cloud"])
 
+    @pytest.mark.parametrize("bad", [True, False, np.bool_(True)])
+    def test_bool_thresholds_rejected(self, bad):
+        """Regression: isinstance(x, (int, float)) accepts bool, silently
+        coercing True -> broadcast 1.0 (exit everything) and False -> 0.0."""
+        with pytest.raises(ValueError, match="bool"):
+            normalize_thresholds(bad, 3)
+        with pytest.raises(ValueError, match="bool"):
+            normalize_thresholds([bad, 0.5], 3)
+
+    @pytest.mark.parametrize("bad", [float("nan"), np.nan])
+    def test_nan_thresholds_rejected(self, bad):
+        with pytest.raises(ValueError, match="NaN"):
+            normalize_thresholds(bad, 2)
+        with pytest.raises(ValueError, match="NaN"):
+            normalize_thresholds([0.3, bad], 3)
+
+    @pytest.mark.parametrize("bad", [-0.1, -5.0])
+    def test_negative_thresholds_rejected(self, bad):
+        with pytest.raises(ValueError, match=">= 0"):
+            normalize_thresholds(bad, 2)
+        with pytest.raises(ValueError, match=">= 0"):
+            normalize_thresholds([bad], 3)
+
+    def test_numpy_scalar_thresholds_still_accepted(self):
+        assert normalize_thresholds(np.float32(0.25), 2) == [pytest.approx(0.25), 1.0]
+        assert normalize_thresholds(np.float64(0.25), 2) == [0.25, 1.0]
+        assert normalize_thresholds(np.int64(0), 2) == [0.0, 1.0]
+
 
 class TestCascadeRouter:
     def _cascade(self, thresholds=(0.5,)):
@@ -117,6 +145,19 @@ class TestCascadeSharedByBothEngines:
             StagedInferenceEngine(trained_ddnn, bad)
         with pytest.raises(ValueError):
             HierarchyRuntime(partition_ddnn(trained_ddnn), bad)
+
+    @pytest.mark.parametrize("bad", [True, float("nan"), -0.2, [True, 0.5], [0.3, float("nan")]])
+    def test_invalid_threshold_values_raise_in_all_three_consumers(self, trained_ddnn, bad):
+        """bool / NaN / negative thresholds must fail loudly in every cascade
+        consumer: the offline engine, the hierarchy runtime and the server."""
+        from repro.serving import DDNNServer
+
+        with pytest.raises(ValueError):
+            StagedInferenceEngine(trained_ddnn, bad)
+        with pytest.raises(ValueError):
+            HierarchyRuntime(partition_ddnn(trained_ddnn), bad)
+        with pytest.raises(ValueError):
+            DDNNServer(trained_ddnn, bad)
 
     def test_run_model_matches_engine_run(self, trained_ddnn, tiny_test):
         engine = StagedInferenceEngine(trained_ddnn, 0.8)

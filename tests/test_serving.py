@@ -70,6 +70,27 @@ class TestRequestQueue:
         with pytest.raises(ValueError):
             queue.pop_batch(0)
 
+    def test_pop_batch_larger_than_backlog_drains_everything(self):
+        queue = RequestQueue(clock=FakeClock())
+        for _ in range(3):
+            queue.submit(_views())
+        assert len(queue.pop_batch(100)) == 3
+        assert queue.pop_batch(100) == []
+        assert queue.peek_oldest() is None
+
+    def test_oldest_wait_with_explicit_now_and_after_pop(self):
+        clock = FakeClock()
+        queue = RequestQueue(clock=clock)
+        queue.submit(_views())
+        clock.advance(1.0)
+        queue.submit(_views())
+        assert queue.oldest_wait_s(now=1.5) == pytest.approx(1.5)
+        queue.pop_batch(1)
+        # Head-of-line is now the second request, enqueued at t=1.0.
+        assert queue.oldest_wait_s(now=1.5) == pytest.approx(0.5)
+        queue.pop_batch(1)
+        assert queue.oldest_wait_s(now=99.0) == 0.0
+
 
 class TestMicroBatcher:
     def test_full_batch_releases_immediately(self):
@@ -163,6 +184,60 @@ class TestServerStats:
         with pytest.raises(ValueError):
             ServerStats(window=0)
 
+    def _batch(self, size, complete, enqueue=0.0, **kwargs):
+        return [self._response(enqueue, complete, **kwargs) for _ in range(size)]
+
+    def test_throughput_counts_whole_batches_against_elapsed_time(self):
+        """Pinned semantics: two 16-deep batches one second apart is 16 rps —
+        the old per-response formula reported (32-1)/1 = 31 rps because every
+        response in a batch shares one completion stamp."""
+        stats = ServerStats()
+        stats.observe_batch(self._batch(16, complete=1.0))
+        stats.observe_batch(self._batch(16, complete=2.0))
+        assert stats.snapshot().throughput_rps == pytest.approx(16.0)
+
+    def test_throughput_needs_two_completion_events(self):
+        stats = ServerStats()
+        stats.observe_batch(self._batch(32, complete=1.0))
+        assert stats.snapshot().throughput_rps == 0.0
+
+    def test_throughput_survives_window_no_larger_than_batch(self):
+        """Regression: with window <= batch size, eviction used to leave a
+        single completion event, reporting 0.0 rps forever."""
+        stats = ServerStats(window=16)
+        for index in range(10):
+            stats.observe_batch(self._batch(16, complete=1.0 + index))
+        assert stats.snapshot().throughput_rps == pytest.approx(16.0)
+
+    def test_throughput_steady_stream_of_single_requests(self):
+        stats = ServerStats(window=8)
+        for index in range(20):
+            stats.observe_batch(self._batch(1, complete=float(index), enqueue=float(index)))
+        assert stats.snapshot().throughput_rps == pytest.approx(1.0)
+
+    def test_batch_window_tracks_request_window(self):
+        """Pinned semantics: mean_batch_size covers the trailing batches that
+        produced the windowed requests — not a separate batch-count window."""
+        stats = ServerStats(window=8)
+        stats.observe_batch(self._batch(1, complete=0.5))
+        for index in range(4):
+            stats.observe_batch(self._batch(2, complete=1.0 + index))
+        # 9 requests total; the size-1 batch is evicted once the four 2-deep
+        # batches cover the 8-request window on their own.
+        snapshot = stats.snapshot()
+        assert snapshot.window_requests == 8
+        assert snapshot.window_batches == 4
+        assert snapshot.mean_batch_size == pytest.approx(2.0)
+
+    def test_batch_window_keeps_partially_covered_batch(self):
+        stats = ServerStats(window=4)
+        stats.observe_batch(self._batch(3, complete=1.0))
+        stats.observe_batch(self._batch(3, complete=2.0))
+        # Evicting the older batch would leave only 3 < window requests.
+        snapshot = stats.snapshot()
+        assert snapshot.window_batches == 2
+        assert snapshot.mean_batch_size == pytest.approx(3.0)
+
 
 class TestDDNNServer:
     def test_one_at_a_time_matches_staged_inference(self, trained_ddnn, tiny_test):
@@ -230,3 +305,93 @@ class TestDDNNServer:
         assert sum(snapshot.exit_fractions.values()) == pytest.approx(1.0)
         assert snapshot.accuracy is not None
         assert snapshot.mean_latency_s >= 0.0
+
+    def test_serve_dataset_ignores_preexisting_backlog(self, trained_ddnn, tiny_test):
+        """Regression: a backlog from other clients must not leak into the
+        dataset response list (which is documented to line up with
+        ``dataset.labels``)."""
+        server = DDNNServer(trained_ddnn, 0.8)
+        for index in range(3):
+            server.submit(tiny_test.images[index], client_id="backlog")
+        responses = server.serve_dataset(tiny_test, client_id="dataset")
+        assert len(responses) == len(tiny_test)
+        assert all(response.client_id == "dataset" for response in responses)
+        assert [response.target for response in responses] == [
+            int(label) for label in tiny_test.labels
+        ]
+        # The backlog was still served, to its own session.
+        assert server.queue.session("backlog").completed == 3
+        # ... and the filtered responses match a clean-server run exactly.
+        clean = DDNNServer(trained_ddnn, 0.8).serve_dataset(tiny_test)
+        assert [r.prediction for r in responses] == [r.prediction for r in clean]
+        assert [r.exit_index for r in responses] == [r.exit_index for r in clean]
+
+    def test_retention_bounds_sessions_and_outboxes(self, trained_ddnn, tiny_test):
+        """Regression: long-lived servers must not grow memory without bound
+        in ClientSession.responses / per-exit outboxes; counters stay exact."""
+        server = DDNNServer(trained_ddnn, 0.8, stats_window=64, retention=5)
+        repeats = 3
+        for _ in range(repeats):
+            for index in range(len(tiny_test)):
+                server.submit(tiny_test.images[index], client_id="cam")
+            server.run_until_drained()
+        session = server.queue.session("cam")
+        assert session.submitted == session.completed == repeats * len(tiny_test)
+        assert len(session.responses) == 5
+        total_boxed = sum(
+            len(server.responses_for_exit(name)) for name in server.exit_names
+        )
+        assert total_boxed <= 5 * len(server.exit_names)
+        assert server.snapshot().total_requests == repeats * len(tiny_test)
+
+    def test_retention_defaults_to_stats_window(self, trained_ddnn):
+        server = DDNNServer(trained_ddnn, 0.8, stats_window=7)
+        assert server.retention == 7
+        assert server.queue.retention == 7
+
+    @pytest.mark.parametrize("policy_name", ["reject", "drop-oldest", "shed-local"])
+    def test_serve_dataset_on_bounded_queue_serves_every_sample(
+        self, trained_ddnn, tiny_test, policy_name
+    ):
+        """Regression: with capacity < len(dataset), serve_dataset used to
+        raise mid-submit (reject/shed) or silently return a short,
+        label-misaligned list (drop-oldest)."""
+        from repro.serving import admission_policy
+
+        server = DDNNServer(
+            trained_ddnn,
+            0.8,
+            capacity=8,
+            admission=admission_policy(policy_name),
+        )
+        responses = server.serve_dataset(tiny_test)
+        assert len(responses) == len(tiny_test)
+        assert [r.target for r in responses] == [int(l) for l in tiny_test.labels]
+        # Every sample got the full cascade, never a degraded shed answer.
+        assert not any(r.shed for r in responses)
+        stats = server.queue.admission_stats
+        assert stats.rejected == stats.dropped == stats.shed == 0
+        # ... and predictions match the unbounded server exactly.
+        clean = DDNNServer(trained_ddnn, 0.8).serve_dataset(tiny_test)
+        assert [r.prediction for r in responses] == [r.prediction for r in clean]
+
+    def test_submit_with_shed_policy_answers_from_local_exit(self, trained_ddnn, tiny_test):
+        """server.submit() under shed-local must deliver the promised
+        local-exit answer instead of raising with a phantom shed count."""
+        from repro.serving import ShedToLocalExit
+
+        server = DDNNServer(
+            trained_ddnn, 0.8, capacity=2, admission=ShedToLocalExit()
+        )
+        ids = [
+            server.submit(tiny_test.images[index], client_id="cam")
+            for index in range(3)
+        ]
+        session = server.queue.session("cam")
+        assert session.shed == 1
+        assert len(session.responses) == 1
+        shed_response = session.responses[0]
+        assert shed_response.shed and shed_response.request_id == ids[2]
+        assert shed_response.exit_index == 0
+        server.run_until_drained()
+        assert session.completed == 2  # shed answers never count as completed
