@@ -1,0 +1,51 @@
+"""``repro.compile`` — fused/folded inference plans for the exit cascade.
+
+The eager :mod:`repro.nn` stack is built for training: every op wraps its
+result in an autograd :class:`~repro.nn.tensor.Tensor` and re-allocates its
+intermediates.  This package provides the dedicated *inference* path the
+serving stack runs on: an ahead-of-time compiler that takes a trained model
+and emits plans executing on raw ``np.ndarray``s with
+
+* BatchNorm folded into preceding conv/linear weights (running stats),
+* conv+ReLU and BatchNorm+sign fusion,
+* zero-copy strided-window im2col over pre-packed (pre-binarized) weight
+  matrices, and
+* a per-plan buffer arena reused across batches (re-planned on shape
+  change).
+
+Entry points: :func:`compile_plan` for a single module stack,
+:func:`compile_ddnn` for a whole multi-exit DDNN, and :func:`verify_compiled`
+for the numerical-equivalence guarantee against the eager path.  The
+``compile=True`` knobs on :class:`~repro.core.cascade.ExitCascade`,
+:class:`~repro.core.inference.StagedInferenceEngine`,
+:class:`~repro.hierarchy.runtime.HierarchyRuntime` and
+:class:`~repro.serving.server.DDNNServer` route their forwards through this
+package.
+"""
+
+from .ddnn import (
+    CompiledBranch,
+    CompiledDDNN,
+    CompiledDDNNOutput,
+    CompiledTier,
+    compile_aggregator,
+    compile_ddnn,
+    verify_compiled,
+)
+from .ops import Arena, CompileError
+from .plan import CompiledPlan, compile_plan, flatten_modules
+
+__all__ = [
+    "Arena",
+    "CompileError",
+    "CompiledPlan",
+    "compile_plan",
+    "flatten_modules",
+    "CompiledBranch",
+    "CompiledTier",
+    "CompiledDDNN",
+    "CompiledDDNNOutput",
+    "compile_aggregator",
+    "compile_ddnn",
+    "verify_compiled",
+]

@@ -1,0 +1,298 @@
+"""Compile a whole :class:`~repro.core.ddnn.DDNN` into raw-array plans.
+
+:func:`compile_ddnn` mirrors the eager model structurally — per-device
+branches, aggregators, optional edge tier, cloud tier — but every NN section
+becomes a :class:`~repro.compile.plan.CompiledPlan` and every aggregator a
+plain function over ``np.ndarray``s, so a full multi-exit forward pass never
+touches the autograd :class:`~repro.nn.tensor.Tensor` machinery.
+
+The sub-plans (``device_branches``, ``edge_tiers``, ``cloud``) are exposed
+individually so the hierarchy simulator can hand each node its own compiled
+section, and :func:`verify_compiled` provides the numerical-equivalence
+guarantee against the eager path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.aggregation import (
+    Aggregator,
+    AveragePoolAggregator,
+    ConcatAggregator,
+    MaxPoolAggregator,
+)
+from ..core.ddnn import DDNN, DeviceBranch, _UpperTier
+from ..nn.layers import Flatten
+from ..nn.tensor import Tensor, no_grad
+from .ops import CompileError
+from .plan import CompiledPlan
+
+__all__ = [
+    "CompiledAggregator",
+    "CompiledBranch",
+    "CompiledTier",
+    "CompiledDDNNOutput",
+    "CompiledDDNN",
+    "compile_ddnn",
+    "compile_aggregator",
+    "verify_compiled",
+]
+
+ViewsLike = Union[np.ndarray, Sequence[np.ndarray], Sequence[Tensor]]
+
+#: A compiled aggregator: list of same-shaped arrays -> fused array.
+CompiledAggregator = Callable[[List[np.ndarray]], np.ndarray]
+
+
+def compile_aggregator(aggregator: Aggregator) -> CompiledAggregator:
+    """Compile an aggregation scheme into a plain-array function.
+
+    Each compiled form replays the eager computation order exactly
+    (stack+max for MP, sequential sum for AP, concatenate+projection for CC)
+    so fused outputs are bit-identical to the eager aggregators.
+    """
+    if isinstance(aggregator, MaxPoolAggregator):
+
+        def run_max(arrays: List[np.ndarray]) -> np.ndarray:
+            if len(arrays) == 1:
+                return arrays[0]
+            return np.stack(arrays, axis=0).max(axis=0)
+
+        return run_max
+
+    if isinstance(aggregator, AveragePoolAggregator):
+
+        def run_avg(arrays: List[np.ndarray]) -> np.ndarray:
+            if len(arrays) == 1:
+                return arrays[0]
+            total = arrays[0]
+            for array in arrays[1:]:
+                total = total + array
+            return total * (1.0 / len(arrays))
+
+        return run_avg
+
+    if isinstance(aggregator, ConcatAggregator):
+        projection = aggregator.projection
+        weight_t = None if projection is None else projection.weight.data.copy().transpose()
+        bias = (
+            None
+            if projection is None or projection.bias is None
+            else projection.bias.data.copy()
+        )
+
+        def run_concat(arrays: List[np.ndarray]) -> np.ndarray:
+            combined = np.concatenate(arrays, axis=1)
+            if weight_t is not None:
+                combined = combined @ weight_t
+                if bias is not None:
+                    combined = combined + bias
+            return combined
+
+        return run_concat
+
+    raise CompileError(f"cannot compile aggregator of type {type(aggregator).__name__}")
+
+
+class CompiledBranch:
+    """A device branch: compiled feature extractor + exit classifier."""
+
+    def __init__(self, branch: DeviceBranch) -> None:
+        self.features = CompiledPlan(branch.features, name="device-features")
+        self.classify = CompiledPlan([Flatten(), branch.classifier], name="device-classifier")
+
+    def __call__(self, view: np.ndarray):
+        feature_map = self.features(view)
+        return feature_map, self.classify(feature_map)
+
+
+class CompiledTier:
+    """An edge or cloud section: compiled ConvP stack + FC head."""
+
+    def __init__(self, tier: _UpperTier, name: str = "tier") -> None:
+        self.features = CompiledPlan(tier.features, name=f"{name}-features")
+        head = [Flatten()]
+        if tier.hidden is not None:
+            head.append(tier.hidden)
+        head.append(tier.classifier)
+        self.head = CompiledPlan(head, name=f"{name}-head")
+
+    def __call__(self, aggregated: np.ndarray):
+        feature_map = self.features(aggregated)
+        return feature_map, self.head(feature_map)
+
+
+@dataclass
+class CompiledDDNNOutput:
+    """All exit and intermediate outputs of one compiled forward pass.
+
+    Mirrors :class:`~repro.core.ddnn.DDNNOutput` but holds raw arrays; the
+    arrays are views into plan buffers, valid until the next forward call.
+    """
+
+    exit_logits: List[np.ndarray]
+    exit_names: List[str]
+    device_scores: List[np.ndarray] = field(default_factory=list)
+    device_features: List[np.ndarray] = field(default_factory=list)
+    edge_features: List[np.ndarray] = field(default_factory=list)
+
+    def logits_by_name(self, name: str) -> np.ndarray:
+        try:
+            index = self.exit_names.index(name)
+        except ValueError as error:
+            raise KeyError(f"no exit named '{name}' (have {self.exit_names})") from error
+        return self.exit_logits[index]
+
+    @property
+    def final_logits(self) -> np.ndarray:
+        return self.exit_logits[-1]
+
+
+class CompiledDDNN:
+    """Inference-only compiled counterpart of a trained :class:`DDNN`.
+
+    Weights are snapshotted at compile time; recompile after (re)training.
+    Plans re-build automatically when the batch shape changes and reuse
+    their buffer arenas otherwise.
+    """
+
+    def __init__(self, model: DDNN) -> None:
+        self.num_devices = model.config.num_devices
+        self.exit_names = list(model.exit_names)
+        self.has_local_exit = model.has_local_exit
+        self.has_edge = model.has_edge
+
+        self.device_branches = [CompiledBranch(branch) for branch in model.device_branches]
+        self.local_aggregator: Optional[CompiledAggregator] = (
+            compile_aggregator(model.local_aggregator) if model.has_local_exit else None
+        )
+
+        self.edge_aggregators: List[CompiledAggregator] = []
+        self.edge_tiers: List[CompiledTier] = []
+        self.edge_device_groups: List[List[int]] = []
+        self.edge_exit_aggregator: Optional[CompiledAggregator] = None
+        if model.has_edge:
+            for aggregator, edge in zip(model._edge_aggregators, model.edge_models):
+                self.edge_aggregators.append(compile_aggregator(aggregator))
+                self.edge_tiers.append(CompiledTier(edge, name="edge"))
+            self.edge_device_groups = [list(group) for group in model.edge_device_groups]
+            self.edge_exit_aggregator = compile_aggregator(model.edge_exit_aggregator)
+
+        self.cloud_aggregator = compile_aggregator(model.cloud_aggregator)
+        self.cloud = CompiledTier(model.cloud, name="cloud")
+
+    # ------------------------------------------------------------------ #
+    def _split_views(self, views: ViewsLike) -> List[np.ndarray]:
+        if isinstance(views, (list, tuple)):
+            arrays = [
+                np.asarray(v.data if isinstance(v, Tensor) else v, dtype=np.float64)
+                for v in views
+            ]
+        else:
+            array = np.asarray(views, dtype=np.float64)
+            if array.ndim != 5:
+                raise ValueError(f"expected views of shape (N, D, C, H, W), got {array.shape}")
+            arrays = [array[:, index] for index in range(array.shape[1])]
+        if len(arrays) != self.num_devices:
+            raise ValueError(
+                f"model has {self.num_devices} devices but received "
+                f"{len(arrays)} view streams"
+            )
+        return arrays
+
+    def forward(self, views: ViewsLike) -> CompiledDDNNOutput:
+        """Compute every exit's logits for a multi-view batch, autograd-free."""
+        device_inputs = self._split_views(views)
+
+        device_features: List[np.ndarray] = []
+        device_scores: List[np.ndarray] = []
+        for branch, device_input in zip(self.device_branches, device_inputs):
+            feature_map, scores = branch(device_input)
+            device_features.append(feature_map)
+            device_scores.append(scores)
+
+        exit_logits: List[np.ndarray] = []
+        exit_names: List[str] = []
+
+        if self.has_local_exit:
+            exit_logits.append(self.local_aggregator(device_scores))
+            exit_names.append("local")
+
+        edge_features: List[np.ndarray] = []
+        if self.has_edge:
+            edge_scores: List[np.ndarray] = []
+            for aggregator, tier, group in zip(
+                self.edge_aggregators, self.edge_tiers, self.edge_device_groups
+            ):
+                aggregated = aggregator([device_features[i] for i in group])
+                feature_map, logits = tier(aggregated)
+                edge_features.append(feature_map)
+                edge_scores.append(logits)
+            if len(edge_scores) == 1:
+                edge_logits = edge_scores[0]
+            else:
+                edge_logits = self.edge_exit_aggregator(edge_scores)
+            exit_logits.append(edge_logits)
+            exit_names.append("edge")
+            cloud_sources = edge_features
+        else:
+            cloud_sources = device_features
+
+        aggregated = self.cloud_aggregator(cloud_sources)
+        _, cloud_logits = self.cloud(aggregated)
+        exit_logits.append(cloud_logits)
+        exit_names.append("cloud")
+
+        return CompiledDDNNOutput(
+            exit_logits=exit_logits,
+            exit_names=exit_names,
+            device_scores=device_scores,
+            device_features=device_features,
+            edge_features=edge_features,
+        )
+
+    __call__ = forward
+
+
+def compile_ddnn(model: DDNN) -> CompiledDDNN:
+    """Compile a trained DDNN into an inference-only :class:`CompiledDDNN`."""
+    return CompiledDDNN(model)
+
+
+def verify_compiled(
+    model: DDNN,
+    compiled: CompiledDDNN,
+    views: np.ndarray,
+    rtol: float = 1e-5,
+    atol: float = 1e-6,
+) -> float:
+    """Assert compiled and eager exit logits agree; return the max abs diff.
+
+    This is the numerical-equivalence guarantee behind the ``compile=True``
+    knobs: per-exit logits must agree within float32-level tolerance (BN
+    folding re-associates arithmetic, so bitwise equality is not expected at
+    folded exits).  Raises :class:`AssertionError` on divergence.
+    """
+    model.eval()
+    with no_grad():
+        eager = model(views)
+    fast = compiled(views)
+    worst = 0.0
+    for name, eager_logits, fast_logits in zip(
+        eager.exit_names, eager.exit_logits, fast.exit_logits
+    ):
+        eager_data = eager_logits.data
+        np.testing.assert_allclose(
+            fast_logits,
+            eager_data,
+            rtol=rtol,
+            atol=atol,
+            err_msg=f"compiled '{name}' exit logits diverged from eager",
+        )
+        diff = float(np.max(np.abs(fast_logits - eager_data))) if eager_data.size else 0.0
+        worst = max(worst, diff)
+    return worst

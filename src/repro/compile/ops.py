@@ -1,0 +1,454 @@
+"""Raw-``ndarray`` inference kernels and the per-plan buffer arena.
+
+These ops are what a :class:`~repro.compile.plan.CompiledPlan` executes: no
+autograd graph, no per-op :class:`~repro.nn.tensor.Tensor` wrapping.  Each op
+is *prepared* once per batch shape — binding its scratch and output buffers
+from the plan's :class:`Arena` into a per-shape context — and then *run*
+once per forward pass against that context, writing into the pre-allocated
+buffers (``out=`` everywhere, in-place epilogues for bias/ReLU/sign).
+Because the context carries all shape-dependent state, a plan alternating
+between batch shapes (e.g. a server interleaving batch-1 shed forwards with
+micro-batches) switches programs without re-preparing anything.
+
+Numerical contract: where no folding applies, every op reproduces the eager
+path bit for bit — the same im2col window ordering (via the shared
+:func:`repro.nn.functional.sliding_windows` helper), the same operand
+layouts handed to BLAS, and the same elementwise operation order as the
+eager BatchNorm/activation code.  Folded ops (BatchNorm absorbed into conv
+or linear weights) and the shift-add conv strategy are equivalent up to
+float rounding — and remain *exact* on the binary interior blocks, whose
+±1 arithmetic stays integral in float64 under any summation order.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..nn.functional import conv_output_size, sliding_windows
+
+__all__ = [
+    "Arena",
+    "CompileError",
+    "ConvOp",
+    "LinearOp",
+    "MaxPoolOp",
+    "AvgPoolOp",
+    "BatchNormOp",
+    "ReluOp",
+    "SignOp",
+    "SigmoidOp",
+    "TanhOp",
+    "FlattenOp",
+]
+
+
+class CompileError(RuntimeError):
+    """A module or module sequence that the plan compiler cannot handle."""
+
+
+class Arena:
+    """Shape-keyed buffer pool owned by one compiled plan.
+
+    Buffers are allocated when the plan first prepares a batch shape and
+    reused across every subsequent forward pass with that shape.  The pool
+    key includes the shape, so programs for several batch shapes coexist
+    without re-allocating each other's buffers.  ``fill`` is applied only
+    on allocation: padded scratch buffers keep their constant border (zeros
+    for convolution, ``-inf`` for max pooling) because the ops only ever
+    overwrite the interior.
+    """
+
+    def __init__(self) -> None:
+        self._buffers: Dict[object, np.ndarray] = {}
+
+    def buffer(
+        self, key: object, shape: Tuple[int, ...], fill: Optional[float] = None
+    ) -> np.ndarray:
+        pool_key = (key, tuple(shape))
+        buf = self._buffers.get(pool_key)
+        if buf is None:
+            buf = np.empty(shape, dtype=np.float64)
+            if fill is not None:
+                buf.fill(fill)
+            self._buffers[pool_key] = buf
+        return buf
+
+    def bool_buffer(self, key: object, shape: Tuple[int, ...]) -> np.ndarray:
+        pool_key = (key, tuple(shape), bool)
+        buf = self._buffers.get(pool_key)
+        if buf is None:
+            buf = np.empty(shape, dtype=bool)
+            self._buffers[pool_key] = buf
+        return buf
+
+
+def _window_position_slices(source: np.ndarray, kernel: int, stride: int) -> list:
+    """One strided sub-view of ``source`` per kernel position.
+
+    ``slices[ky * kernel + kx][n, c, oy, ox]`` is the value the window at
+    output position ``(oy, ox)`` sees at kernel offset ``(ky, kx)``.  Pool
+    ops accumulate max/sum over these views instead of reducing over the
+    overlapping 6-D window view, which iterates with far better locality.
+    """
+    windows = sliding_windows(source, kernel, kernel, stride)
+    return [
+        windows[:, :, :, :, ky, kx] for ky in range(kernel) for kx in range(kernel)
+    ]
+
+
+def _sign_inplace(buf: np.ndarray, mask: np.ndarray) -> None:
+    """In-place ``x -> {-1, +1}`` with the eager ``x >= 0 -> +1`` convention."""
+    np.greater_equal(buf, 0.0, out=mask)
+    np.multiply(mask, 2.0, out=buf)
+    buf -= 1.0
+
+
+class _Op:
+    """One step of a compiled plan.
+
+    ``prepare`` binds buffers for one batch shape into a context namespace
+    (with at least ``output_shape``); ``run`` executes against a context.
+    """
+
+    def prepare(self, shape: Tuple[int, ...], arena: Arena, key: object) -> SimpleNamespace:
+        raise NotImplementedError
+
+    def run(self, x: np.ndarray, ctx: SimpleNamespace) -> np.ndarray:
+        raise NotImplementedError
+
+
+class ConvOp(_Op):
+    """2-D convolution on pre-packed weight matrices.
+
+    ``weight`` is the (possibly binarized and/or BatchNorm-folded) 4-D
+    kernel.  Two execution strategies:
+
+    * **shift-add** (stride 1, ``out_channels < in_channels``): one big
+      batched GEMM of the per-position weight stack against the
+      *unexpanded* padded image, followed by ``kh * kw`` strided
+      accumulations — no im2col gather at all.  The gather/accumulate
+      memory traffic is proportional to ``out_channels`` instead of
+      ``in_channels``, and BLAS sees contiguous operands.
+    * **im2col** otherwise: zero-copy strided window view gathered into a
+      pre-allocated column buffer, then the same batched GEMM the eager
+      path performs (bit-identical when nothing was folded).
+
+    Bias add and the optional fused ReLU run in place on the output buffer.
+    """
+
+    def __init__(
+        self,
+        weight: np.ndarray,
+        bias: Optional[np.ndarray],
+        stride: int,
+        padding: int,
+        relu: bool = False,
+    ) -> None:
+        self.weight = np.ascontiguousarray(weight, dtype=np.float64)
+        self.out_channels, self.in_channels, self.kernel_h, self.kernel_w = self.weight.shape
+        self.bias = None if bias is None else np.asarray(bias, dtype=np.float64)
+        self.stride = int(stride)
+        self.padding = int(padding)
+        self.relu = bool(relu)
+        self._shift_add = self.stride == 1 and self.out_channels < self.in_channels
+        if self._shift_add:
+            # (kh*kw*out, in): one (out, in) block per kernel position.
+            self._weight_stack = np.ascontiguousarray(
+                self.weight.transpose(2, 3, 0, 1).reshape(-1, self.in_channels)
+            )
+        else:
+            self._weight_matrix = self.weight.reshape(self.out_channels, -1)
+
+    def prepare(self, shape: Tuple[int, ...], arena: Arena, key: object) -> SimpleNamespace:
+        batch, channels, height, width = shape
+        if channels != self.in_channels:
+            raise CompileError(
+                f"conv expects {self.in_channels} input channels, got {channels}"
+            )
+        out_h = conv_output_size(height, self.kernel_h, self.stride, self.padding)
+        out_w = conv_output_size(width, self.kernel_w, self.stride, self.padding)
+        if out_h < 1 or out_w < 1:
+            raise CompileError(f"conv output collapses to {out_h}x{out_w}")
+        pad = self.padding
+        padded_h, padded_w = height + 2 * pad, width + 2 * pad
+        ctx = SimpleNamespace(output_shape=(batch, self.out_channels, out_h, out_w))
+        ctx.padded = (
+            arena.buffer((key, "pad"), (batch, channels, padded_h, padded_w), fill=0.0)
+            if pad
+            else None
+        )
+        ctx.out = arena.buffer((key, "out"), (batch, self.out_channels, out_h * out_w))
+        ctx.out4 = ctx.out.reshape(batch, self.out_channels, out_h, out_w)
+        if self._shift_add:
+            positions = self.kernel_h * self.kernel_w
+            ctx.per_position = arena.buffer(
+                (key, "pos"), (batch, positions * self.out_channels, padded_h * padded_w)
+            )
+            per_position5 = ctx.per_position.reshape(
+                batch, positions, self.out_channels, padded_h, padded_w
+            )
+            ctx.position_slices = [
+                per_position5[:, ky * self.kernel_w + kx, :, ky : ky + out_h, kx : kx + out_w]
+                for ky in range(self.kernel_h)
+                for kx in range(self.kernel_w)
+            ]
+        else:
+            window = channels * self.kernel_h * self.kernel_w
+            ctx.cols = arena.buffer((key, "cols"), (batch, window, out_h * out_w))
+            ctx.cols6 = ctx.cols.reshape(
+                batch, channels, self.kernel_h, self.kernel_w, out_h, out_w
+            )
+            # The window view over the persistent padded buffer never moves;
+            # compute it once per (plan, shape) instead of once per batch.
+            ctx.windows = (
+                sliding_windows(ctx.padded, self.kernel_h, self.kernel_w, self.stride)
+                if ctx.padded is not None
+                else None
+            )
+        return ctx
+
+    def run(self, x: np.ndarray, ctx: SimpleNamespace) -> np.ndarray:
+        if ctx.padded is not None:
+            pad = self.padding
+            ctx.padded[:, :, pad:-pad, pad:-pad] = x
+            source = ctx.padded
+        else:
+            source = x
+        if self._shift_add:
+            batch, channels = source.shape[:2]
+            flat = source.reshape(batch, channels, -1)
+            np.matmul(self._weight_stack, flat, out=ctx.per_position)
+            np.copyto(ctx.out4, ctx.position_slices[0])
+            for position in ctx.position_slices[1:]:
+                np.add(ctx.out4, position, out=ctx.out4)
+        else:
+            windows = (
+                ctx.windows
+                if ctx.windows is not None
+                else sliding_windows(source, self.kernel_h, self.kernel_w, self.stride)
+            )
+            np.copyto(ctx.cols6, windows.transpose(0, 1, 4, 5, 2, 3))
+            np.matmul(self._weight_matrix, ctx.cols, out=ctx.out)
+        if self.bias is not None:
+            ctx.out += self.bias[:, None]
+        if self.relu:
+            np.maximum(ctx.out, 0.0, out=ctx.out)
+        return ctx.out4
+
+
+class LinearOp(_Op):
+    """Fully connected layer on a pre-packed (possibly folded) weight.
+
+    The transposed-view operand layout matches the eager
+    ``inputs.matmul(weight.transpose())`` call exactly, so unfolded results
+    are bit-identical.  The optional ReLU epilogue runs in place.
+    """
+
+    def __init__(
+        self,
+        weight: np.ndarray,
+        bias: Optional[np.ndarray],
+        relu: bool = False,
+    ) -> None:
+        self.weight = np.ascontiguousarray(weight, dtype=np.float64)
+        self.out_features, self.in_features = self.weight.shape
+        self._weight_t = self.weight.transpose()
+        self.bias = None if bias is None else np.asarray(bias, dtype=np.float64)
+        self.relu = bool(relu)
+
+    def prepare(self, shape: Tuple[int, ...], arena: Arena, key: object) -> SimpleNamespace:
+        batch, features = shape
+        if features != self.in_features:
+            raise CompileError(
+                f"linear expects {self.in_features} input features, got {features}"
+            )
+        return SimpleNamespace(
+            output_shape=(batch, self.out_features),
+            out=arena.buffer((key, "out"), (batch, self.out_features)),
+        )
+
+    def run(self, x: np.ndarray, ctx: SimpleNamespace) -> np.ndarray:
+        np.matmul(x, self._weight_t, out=ctx.out)
+        if self.bias is not None:
+            ctx.out += self.bias
+        if self.relu:
+            np.maximum(ctx.out, 0.0, out=ctx.out)
+        return ctx.out
+
+
+class _PoolOp(_Op):
+    """Shared scaffolding for max/average pooling."""
+
+    pad_fill: float = 0.0
+
+    def __init__(self, kernel_size: int, stride: Optional[int], padding: int) -> None:
+        self.kernel_size = int(kernel_size)
+        self.stride = int(stride) if stride is not None else self.kernel_size
+        self.padding = int(padding)
+
+    def prepare(self, shape: Tuple[int, ...], arena: Arena, key: object) -> SimpleNamespace:
+        batch, channels, height, width = shape
+        out_h = conv_output_size(height, self.kernel_size, self.stride, self.padding)
+        out_w = conv_output_size(width, self.kernel_size, self.stride, self.padding)
+        pad = self.padding
+        ctx = SimpleNamespace(output_shape=(batch, channels, out_h, out_w))
+        ctx.padded = (
+            arena.buffer(
+                (key, "pad"),
+                (batch, channels, height + 2 * pad, width + 2 * pad),
+                fill=self.pad_fill,
+            )
+            if pad
+            else None
+        )
+        ctx.out = arena.buffer((key, "out"), (batch, channels, out_h, out_w))
+        ctx.slices = (
+            _window_position_slices(ctx.padded, self.kernel_size, self.stride)
+            if ctx.padded is not None
+            else None
+        )
+        return ctx
+
+    def _window_slices(self, x: np.ndarray, ctx: SimpleNamespace) -> list:
+        if ctx.padded is not None:
+            pad = self.padding
+            ctx.padded[:, :, pad:-pad, pad:-pad] = x
+            return ctx.slices
+        return _window_position_slices(x, self.kernel_size, self.stride)
+
+
+class MaxPoolOp(_PoolOp):
+    """2-D max pooling; padded border stays ``-inf`` so it never wins.
+
+    Accumulating ``np.maximum`` over the k*k window positions is ~7-17x
+    faster than reducing over the strided window axes directly (the
+    reduction iterates the overlapping view with terrible locality); max is
+    exact, so the result is bit-identical either way.
+    """
+
+    pad_fill = -np.inf
+
+    def run(self, x: np.ndarray, ctx: SimpleNamespace) -> np.ndarray:
+        slices = self._window_slices(x, ctx)
+        np.copyto(ctx.out, slices[0])
+        for window in slices[1:]:
+            np.maximum(ctx.out, window, out=ctx.out)
+        return ctx.out
+
+
+class AvgPoolOp(_PoolOp):
+    """2-D average pooling (``count_include_pad`` style, like the eager op)."""
+
+    pad_fill = 0.0
+
+    def run(self, x: np.ndarray, ctx: SimpleNamespace) -> np.ndarray:
+        slices = self._window_slices(x, ctx)
+        np.copyto(ctx.out, slices[0])
+        for window in slices[1:]:
+            np.add(ctx.out, window, out=ctx.out)
+        ctx.out *= 1.0 / (self.kernel_size * self.kernel_size)
+        return ctx.out
+
+
+class BatchNormOp(_Op):
+    """Inference batch norm replaying the eager op order bit for bit.
+
+    Used when the BatchNorm could not be folded into a preceding linear op —
+    in particular when a sign activation follows, where re-associated
+    arithmetic could flip a borderline sign.  Computes
+    ``(x - mean) / std * gamma + beta`` with exactly the eager sequence of
+    broadcast elementwise ops, then the optional fused sign/ReLU epilogue.
+    """
+
+    def __init__(
+        self,
+        mean: np.ndarray,
+        std: np.ndarray,
+        gamma: np.ndarray,
+        beta: np.ndarray,
+        sign: bool = False,
+        relu: bool = False,
+    ) -> None:
+        self.mean = np.asarray(mean, dtype=np.float64)
+        self.std = np.asarray(std, dtype=np.float64)
+        self.gamma = np.asarray(gamma, dtype=np.float64)
+        self.beta = np.asarray(beta, dtype=np.float64)
+        self.sign = bool(sign)
+        self.relu = bool(relu)
+
+    def prepare(self, shape: Tuple[int, ...], arena: Arena, key: object) -> SimpleNamespace:
+        return SimpleNamespace(
+            output_shape=tuple(shape),
+            out=arena.buffer((key, "out"), shape),
+            mask=arena.bool_buffer((key, "mask"), shape) if self.sign else None,
+        )
+
+    def run(self, x: np.ndarray, ctx: SimpleNamespace) -> np.ndarray:
+        np.subtract(x, self.mean, out=ctx.out)
+        np.divide(ctx.out, self.std, out=ctx.out)
+        np.multiply(ctx.out, self.gamma, out=ctx.out)
+        np.add(ctx.out, self.beta, out=ctx.out)
+        if self.sign:
+            _sign_inplace(ctx.out, ctx.mask)
+        elif self.relu:
+            np.maximum(ctx.out, 0.0, out=ctx.out)
+        return ctx.out
+
+
+class _ElementwiseOp(_Op):
+    """Base for activations that write into their own same-shaped buffer."""
+
+    needs_mask = False
+
+    def prepare(self, shape: Tuple[int, ...], arena: Arena, key: object) -> SimpleNamespace:
+        return SimpleNamespace(
+            output_shape=tuple(shape),
+            out=arena.buffer((key, "out"), shape),
+            mask=arena.bool_buffer((key, "mask"), shape) if self.needs_mask else None,
+        )
+
+
+class ReluOp(_ElementwiseOp):
+    def run(self, x: np.ndarray, ctx: SimpleNamespace) -> np.ndarray:
+        np.maximum(x, 0.0, out=ctx.out)
+        return ctx.out
+
+
+class SignOp(_ElementwiseOp):
+    needs_mask = True
+
+    def run(self, x: np.ndarray, ctx: SimpleNamespace) -> np.ndarray:
+        np.greater_equal(x, 0.0, out=ctx.mask)
+        np.multiply(ctx.mask, 2.0, out=ctx.out)
+        ctx.out -= 1.0
+        return ctx.out
+
+
+class SigmoidOp(_ElementwiseOp):
+    def run(self, x: np.ndarray, ctx: SimpleNamespace) -> np.ndarray:
+        np.negative(x, out=ctx.out)
+        np.exp(ctx.out, out=ctx.out)
+        ctx.out += 1.0
+        np.divide(1.0, ctx.out, out=ctx.out)
+        return ctx.out
+
+
+class TanhOp(_ElementwiseOp):
+    def run(self, x: np.ndarray, ctx: SimpleNamespace) -> np.ndarray:
+        np.tanh(x, out=ctx.out)
+        return ctx.out
+
+
+class FlattenOp(_Op):
+    """Flatten all dimensions after the batch dimension (a reshape view)."""
+
+    def prepare(self, shape: Tuple[int, ...], arena: Arena, key: object) -> SimpleNamespace:
+        batch = shape[0]
+        flattened = int(np.prod(shape[1:], dtype=np.int64)) if len(shape) > 1 else 1
+        return SimpleNamespace(output_shape=(batch, flattened))
+
+    def run(self, x: np.ndarray, ctx: SimpleNamespace) -> np.ndarray:
+        return x.reshape(ctx.output_shape)

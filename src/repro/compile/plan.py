@@ -1,0 +1,275 @@
+"""Compile module stacks into fused/folded inference plans.
+
+The compiler flattens a module tree (``Sequential``, the fused
+``ConvPBlock``/``FCBlock`` pairs, raw layers) into a list of primitive
+layers, then runs a peephole pass that:
+
+* **binarizes and pre-packs weights** — ``BinaryConv2d``/``BinaryLinear``
+  latent weights are materialised to ``{-1, +1}`` once, at compile time;
+* **folds BatchNorm** into the immediately preceding ``Conv2d``/``Linear``
+  weights using the running statistics (``W' = W * gamma/std``,
+  ``b' = b * gamma/std + beta - mean * gamma/std``) — *except* when a sign
+  activation follows, where the re-associated arithmetic could flip a
+  borderline sign; there the exact eager BatchNorm op is kept and the sign
+  is fused into it instead;
+* **fuses activations** — ReLU into the preceding conv/linear/BatchNorm,
+  sign into the preceding BatchNorm (the blocks never emit a bare
+  linear-then-sign pair, so that is the only sign fusion site).
+
+The resulting :class:`CompiledPlan` executes on raw ``np.ndarray``s with a
+buffer arena reused across batches; programs (per-op buffer bindings) are
+cached per batch shape, so alternating shapes — a server interleaving
+batch-1 shed forwards with micro-batches — pays the preparation cost once
+per shape, not per switch.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..nn.binary import BinaryActivation, BinaryConv2d, BinaryLinear
+from ..nn.blocks import ConvPBlock, FCBlock
+from ..nn.layers import (
+    AvgPool2d,
+    BatchNorm1d,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    Identity,
+    Linear,
+    MaxPool2d,
+    Module,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from .ops import (
+    Arena,
+    AvgPoolOp,
+    BatchNormOp,
+    CompileError,
+    ConvOp,
+    FlattenOp,
+    LinearOp,
+    MaxPoolOp,
+    ReluOp,
+    SigmoidOp,
+    SignOp,
+    TanhOp,
+    _Op,
+)
+
+__all__ = ["CompileError", "CompiledPlan", "compile_plan", "flatten_modules"]
+
+ModuleLike = Union[Module, Sequence[Module]]
+
+
+def flatten_modules(module: ModuleLike) -> List[Module]:
+    """Flatten a module (or list of modules) into primitive layers."""
+    if isinstance(module, (list, tuple)):
+        primitives: List[Module] = []
+        for child in module:
+            primitives.extend(flatten_modules(child))
+        return primitives
+    if isinstance(module, Sequential):
+        primitives = []
+        for child in module:
+            primitives.extend(flatten_modules(child))
+        return primitives
+    if isinstance(module, ConvPBlock):
+        return [module.conv, module.pool, module.batch_norm, module.activation]
+    if isinstance(module, FCBlock):
+        primitives = [module.linear, module.batch_norm]
+        if not module.final:
+            primitives.append(module.activation)
+        return primitives
+    if isinstance(module, Identity):
+        return []
+    return [module]
+
+
+def _bn_scale_shift(bn) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-channel affine ``y = x * scale + shift`` equivalent to eval-mode BN."""
+    std = np.sqrt(np.asarray(bn.running_var, dtype=np.float64) + bn.eps)
+    scale = np.asarray(bn.gamma.data, dtype=np.float64) / std
+    shift = np.asarray(bn.beta.data, dtype=np.float64) - np.asarray(bn.running_mean) * scale
+    return scale, shift
+
+
+def _conv_weights(conv) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """Snapshot (and binarize, for BNN layers) a conv's weights at compile time."""
+    weight = np.asarray(conv.weight.data, dtype=np.float64)
+    if isinstance(conv, BinaryConv2d):
+        weight = np.where(weight >= 0, 1.0, -1.0)
+    else:
+        weight = weight.copy()
+    bias = None if conv.bias is None else np.asarray(conv.bias.data, dtype=np.float64).copy()
+    return weight, bias
+
+
+def _linear_weights(linear) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    weight = np.asarray(linear.weight.data, dtype=np.float64)
+    if isinstance(linear, BinaryLinear):
+        weight = np.where(weight >= 0, 1.0, -1.0)
+    else:
+        weight = weight.copy()
+    bias = None if linear.bias is None else np.asarray(linear.bias.data, dtype=np.float64).copy()
+    return weight, bias
+
+
+def build_ops(primitives: Sequence[Module]) -> List[_Op]:
+    """Peephole pass: primitive layers -> fused/folded op list."""
+    primitives = list(primitives)
+    ops: List[_Op] = []
+    index = 0
+    total = len(primitives)
+
+    def _at(position: int) -> Optional[Module]:
+        return primitives[position] if position < total else None
+
+    while index < total:
+        module = primitives[index]
+
+        if isinstance(module, (Conv2d, BinaryConv2d)):
+            weight, bias = _conv_weights(module)
+            cursor = index + 1
+            if isinstance(_at(cursor), BatchNorm2d) and not isinstance(
+                _at(cursor + 1), BinaryActivation
+            ):
+                scale, shift = _bn_scale_shift(_at(cursor))
+                weight = weight * scale[:, None, None, None]
+                bias = shift if bias is None else bias * scale + shift
+                cursor += 1
+            relu = isinstance(_at(cursor), ReLU)
+            if relu:
+                cursor += 1
+            ops.append(
+                ConvOp(weight, bias, stride=module.stride, padding=module.padding, relu=relu)
+            )
+            index = cursor
+            continue
+
+        if isinstance(module, (Linear, BinaryLinear)):
+            weight, bias = _linear_weights(module)
+            cursor = index + 1
+            if isinstance(_at(cursor), BatchNorm1d) and not isinstance(
+                _at(cursor + 1), BinaryActivation
+            ):
+                scale, shift = _bn_scale_shift(_at(cursor))
+                weight = weight * scale[:, None]
+                bias = shift if bias is None else bias * scale + shift
+                cursor += 1
+            relu = isinstance(_at(cursor), ReLU)
+            if relu:
+                cursor += 1
+            ops.append(LinearOp(weight, bias, relu=relu))
+            index = cursor
+            continue
+
+        if isinstance(module, (BatchNorm1d, BatchNorm2d)):
+            follower = _at(index + 1)
+            sign = isinstance(follower, BinaryActivation)
+            relu = (not sign) and isinstance(follower, ReLU)
+            shape = (
+                (1, module.num_features)
+                if isinstance(module, BatchNorm1d)
+                else (1, module.num_features, 1, 1)
+            )
+            std = np.sqrt(np.asarray(module.running_var, dtype=np.float64) + module.eps)
+            ops.append(
+                BatchNormOp(
+                    mean=np.asarray(module.running_mean, dtype=np.float64).reshape(shape),
+                    std=std.reshape(shape),
+                    gamma=np.asarray(module.gamma.data, dtype=np.float64).reshape(shape),
+                    beta=np.asarray(module.beta.data, dtype=np.float64).reshape(shape),
+                    sign=sign,
+                    relu=relu,
+                )
+            )
+            index += 2 if (sign or relu) else 1
+            continue
+
+        if isinstance(module, MaxPool2d):
+            ops.append(MaxPoolOp(module.kernel_size, module.stride, module.padding))
+        elif isinstance(module, AvgPool2d):
+            ops.append(AvgPoolOp(module.kernel_size, module.stride, module.padding))
+        elif isinstance(module, ReLU):
+            ops.append(ReluOp())
+        elif isinstance(module, BinaryActivation):
+            ops.append(SignOp())
+        elif isinstance(module, Sigmoid):
+            ops.append(SigmoidOp())
+        elif isinstance(module, Tanh):
+            ops.append(TanhOp())
+        elif isinstance(module, Flatten):
+            ops.append(FlattenOp())
+        else:
+            raise CompileError(
+                f"cannot compile module of type {type(module).__name__}; "
+                "supported: Conv2d/BinaryConv2d, Linear/BinaryLinear, "
+                "MaxPool2d/AvgPool2d, BatchNorm1d/2d, ReLU/Sigmoid/Tanh/"
+                "BinaryActivation, Flatten, Identity, Sequential, "
+                "ConvPBlock, FCBlock"
+            )
+        index += 1
+
+    return ops
+
+
+class CompiledPlan:
+    """A fused/folded inference program over raw ``np.ndarray``s.
+
+    The plan snapshots the module's weights at compile time (inference
+    semantics: BatchNorm always uses running statistics).  Buffers live in a
+    private :class:`Arena` keyed by batch shape: the first forward with a
+    new input shape prepares a program (binding buffers per op) which is
+    then cached, so every later forward with that shape — including after
+    switching to other shapes in between — runs with zero preparation work.
+    The returned array is a view into the plan's output buffer — valid
+    until the next forward call with the same batch shape.
+    """
+
+    def __init__(self, module: ModuleLike, name: str = "") -> None:
+        self.name = name
+        self.ops = build_ops(flatten_modules(module))
+        self._arena = Arena()
+        #: shape -> (list of (op, context) pairs, output shape)
+        self._programs: dict = {}
+        self._planned_shape: Optional[Tuple[int, ...]] = None
+        self.output_shape: Optional[Tuple[int, ...]] = None
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return f"CompiledPlan({len(self.ops)} ops{label})"
+
+    def _program_for(self, shape: Tuple[int, ...]):
+        program = self._programs.get(shape)
+        if program is None:
+            current = tuple(shape)
+            steps = []
+            for index, op in enumerate(self.ops):
+                context = op.prepare(current, self._arena, index)
+                steps.append((op, context))
+                current = context.output_shape
+            program = (steps, current)
+            self._programs[shape] = program
+        self._planned_shape = tuple(shape)
+        self.output_shape = program[1]
+        return program
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = np.asarray(x, dtype=np.float64)
+        steps, _ = self._program_for(out.shape)
+        for op, context in steps:
+            out = op.run(out, context)
+        return out
+
+    __call__ = forward
+
+
+def compile_plan(module: ModuleLike, name: str = "") -> CompiledPlan:
+    """Compile a module (or list of modules) into a :class:`CompiledPlan`."""
+    return CompiledPlan(module, name=name)

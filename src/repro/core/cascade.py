@@ -210,15 +210,20 @@ class ExitCascade:
         thresholds: Thresholds,
         exit_names: Sequence[str],
         communication: Optional[CommunicationModel] = None,
+        compile: bool = False,
     ) -> None:
         self.exit_names = list(exit_names)
         self.criteria = build_exit_criteria(thresholds, self.exit_names)
         self.communication = communication
+        self.compile_enabled = bool(compile)
+        self._compiled_plans: Dict[int, object] = {}
 
     @classmethod
-    def for_model(cls, model, thresholds: Thresholds) -> "ExitCascade":
+    def for_model(cls, model, thresholds: Thresholds, compile: bool = False) -> "ExitCascade":
         """Build a cascade matching a :class:`~repro.core.ddnn.DDNN`'s exits."""
-        return cls(thresholds, model.exit_names, CommunicationModel(model.config))
+        return cls(
+            thresholds, model.exit_names, CommunicationModel(model.config), compile=compile
+        )
 
     @property
     def num_exits(self) -> int:
@@ -234,25 +239,60 @@ class ExitCascade:
         return CascadeRouter(self.criteria, batch_size)
 
     # ------------------------------------------------------------------ #
-    def run_model(self, model, views: np.ndarray, batch_size: int = 64) -> CascadeResult:
+    def compiled_for(self, model):
+        """The (cached) compiled inference plan for a model.
+
+        The plan snapshots the model's weights; call
+        :meth:`invalidate_compiled` after (re)training to force a rebuild.
+        The cache holds a strong reference to the model so a recycled
+        ``id()`` can never serve another model's plan.
+        """
+        entry = self._compiled_plans.get(id(model))
+        if entry is not None and entry[0] is model:
+            return entry[1]
+        from ..compile import compile_ddnn
+
+        plan = compile_ddnn(model)
+        self._compiled_plans[id(model)] = (model, plan)
+        return plan
+
+    def invalidate_compiled(self) -> None:
+        """Drop cached compiled plans (e.g. after the model was retrained)."""
+        self._compiled_plans.clear()
+
+    def run_model(
+        self,
+        model,
+        views: np.ndarray,
+        batch_size: int = 64,
+        compile: Optional[bool] = None,
+    ) -> CascadeResult:
         """Route every sample of ``views`` through the model's exit cascade.
 
         This is the monolithic staged-inference loop: the model computes all
         exits' logits in one forward pass per batch and the router assigns
         each sample to its earliest confident exit.  ``exit_predictions``
         records every exit's hypothetical prediction for every sample.
+
+        ``compile`` overrides the cascade's ``compile_enabled`` default: the
+        compiled path runs the :mod:`repro.compile` inference plan (no
+        autograd graph, fused/folded ops) and produces the same predictions
+        and routing as the eager path.
         """
+        use_compiled = self.compile_enabled if compile is None else bool(compile)
         num_samples = len(views)
         predictions = np.zeros(num_samples, dtype=np.int64)
         exit_indices = np.zeros(num_samples, dtype=np.int64)
         entropies = np.zeros(num_samples, dtype=np.float64)
         exit_predictions: Dict[str, List[np.ndarray]] = {name: [] for name in self.exit_names}
 
+        plan = self.compiled_for(model) if use_compiled else None
         model.eval()
         with no_grad():
             for start in range(0, num_samples, batch_size):
                 stop = min(start + batch_size, num_samples)
-                output = model(views[start:stop])
+                chunk = views[start:stop]
+                output = plan(chunk) if plan is not None else model(chunk)
                 router = self.router(stop - start)
                 for name, logits in zip(output.exit_names, output.exit_logits):
                     outcome = router.offer(logits)

@@ -12,6 +12,7 @@ from typing import Callable, Dict
 from .aggregation_table import PAPER_TABLE1_ORDER, run_aggregation_table
 from .cloud_offloading import DEFAULT_FILTER_SWEEP, run_cloud_offloading
 from .communication_reduction import run_communication_reduction
+from .compiled_forward import REFERENCE_BATCH_SIZE, run_compiled_forward
 from .dataset_stats import run_dataset_stats
 from .edge_hierarchy import run_edge_hierarchy
 from .fault_tolerance import run_fault_tolerance, run_multi_device_failures
@@ -52,6 +53,7 @@ EXPERIMENT_REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
     "ext_mixed_precision": run_mixed_precision,
     "serving_throughput": run_serving_throughput,
     "overload_tail_latency": run_overload_study,
+    "compiled_forward": run_compiled_forward,
 }
 
 __all__ = [
@@ -82,6 +84,8 @@ __all__ = [
     "run_mixed_precision",
     "run_serving_throughput",
     "DEFAULT_BATCH_SIZES",
+    "run_compiled_forward",
+    "REFERENCE_BATCH_SIZE",
     "run_overload_study",
     "DEFAULT_LOAD_MULTIPLIERS",
     "DEFAULT_POLICIES",

@@ -7,6 +7,7 @@ Usage::
     python -m repro.experiments run all --scale paper --output-dir results/
     python -m repro.experiments serve-bench --max-batch-size 32 --repeats 4
     python -m repro.experiments load-bench --policy reject --offered-x 2.0
+    python -m repro.experiments infer-bench --batch-size 1 --batch-size 64
 
 Each experiment prints its table (the same rows the paper reports) and can
 optionally write it to a text file.
@@ -151,6 +152,54 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory to write the table as overload_tail_latency.txt",
     )
+    load_parser.add_argument(
+        "--eager",
+        action="store_true",
+        help="run the server's forwards on the eager path (default: compiled)",
+    )
+
+    infer_parser = subparsers.add_parser(
+        "infer-bench",
+        help="benchmark the compiled inference fast path against the eager forward",
+    )
+    infer_parser.add_argument(
+        "--scale",
+        choices=("ci", "paper"),
+        default="ci",
+        help="experiment scale for the model and measured stream",
+    )
+    infer_parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.8,
+        help="local-exit entropy threshold used by the cascade",
+    )
+    infer_parser.add_argument(
+        "--batch-size",
+        type=int,
+        action="append",
+        dest="batch_sizes",
+        default=None,
+        help="batch size to measure (repeatable; default: 1, 8 and 64)",
+    )
+    infer_parser.add_argument(
+        "--repeats",
+        type=int,
+        default=2,
+        help="passes over the test set forming the measured stream",
+    )
+    infer_parser.add_argument(
+        "--timing-rounds",
+        type=int,
+        default=3,
+        help="timed rounds per cell (fastest kept)",
+    )
+    infer_parser.add_argument(
+        "--output-dir",
+        type=Path,
+        default=None,
+        help="directory to write the table as compiled_forward.txt",
+    )
     return parser
 
 
@@ -210,9 +259,34 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             policies=args.policies or DEFAULT_POLICIES,
             num_requests=args.num_requests,
             seed=args.seed,
+            compiled=not args.eager,
         )
         text = result.to_text()
         print(text)
+        if args.output_dir is not None:
+            args.output_dir.mkdir(parents=True, exist_ok=True)
+            (args.output_dir / f"{result.name}.txt").write_text(text + "\n")
+        return 0
+
+    if args.command == "infer-bench":
+        from .compiled_forward import DEFAULT_BATCH_SIZES as INFER_BATCH_SIZES
+        from .compiled_forward import run_compiled_forward
+
+        scale = paper_scale() if args.scale == "paper" else ci_scale()
+        result = run_compiled_forward(
+            scale,
+            threshold=args.threshold,
+            batch_sizes=args.batch_sizes or INFER_BATCH_SIZES,
+            repeats=args.repeats,
+            timing_rounds=args.timing_rounds,
+        )
+        text = result.to_text()
+        print(text)
+        print(
+            f"reference speedup (batch {result.metadata['reference_batch_size']}): "
+            f"{result.metadata['reference_speedup']:.2f}x, "
+            f"max |logit diff| {result.metadata['max_abs_logit_diff']:.2e}"
+        )
         if args.output_dir is not None:
             args.output_dir.mkdir(parents=True, exist_ok=True)
             (args.output_dir / f"{result.name}.txt").write_text(text + "\n")

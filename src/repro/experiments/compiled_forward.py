@@ -1,0 +1,140 @@
+"""Experiment S3 — compiled inference fast path vs the eager forward.
+
+The serving stack (PR 1-2) is forward-pass-bound: every micro-batch runs
+``ExitCascade.run_model`` through the autograd :class:`~repro.nn.tensor.Tensor`
+stack.  This experiment measures the :mod:`repro.compile` inference plans —
+BatchNorm folding, conv/activation fusion, pre-packed binarized weights and
+a reused buffer arena — against the eager path on the same trained DDNN,
+across serving-relevant batch sizes.
+
+For each batch size it reports wall time, samples/second and the compiled
+speedup, and verifies the equivalence guarantee: exit routing must be
+byte-identical and per-exit logits allclose at float32-level tolerance.
+The *reference configuration* for the headline claim is batch size
+``REFERENCE_BATCH_SIZE`` (single-sample serving latency, where the eager
+path's per-op Python overhead hurts most); its speedup is exported as
+``metadata["reference_speedup"]``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..compile import verify_compiled
+from ..core.cascade import ExitCascade
+from .results import ExperimentResult
+from .runner import ExperimentScale, default_scale, get_dataset, get_trained_ddnn
+
+__all__ = ["DEFAULT_BATCH_SIZES", "REFERENCE_BATCH_SIZE", "run_compiled_forward"]
+
+#: Batch sizes measured (serving micro-batch regime plus one bulk size).
+DEFAULT_BATCH_SIZES = (1, 8, 64)
+
+#: The batch size whose speedup is the headline ``reference_speedup``.
+REFERENCE_BATCH_SIZE = 1
+
+
+def run_compiled_forward(
+    scale: Optional[ExperimentScale] = None,
+    threshold: float = 0.8,
+    batch_sizes: Sequence[int] = DEFAULT_BATCH_SIZES,
+    repeats: int = 2,
+    timing_rounds: int = 3,
+) -> ExperimentResult:
+    """Benchmark eager vs compiled staged inference on the trained DDNN.
+
+    ``repeats`` passes over the test set form the measured stream (long
+    enough to be stable at CI scale); each (path, batch size) cell is timed
+    ``timing_rounds`` times and the fastest round is kept, suppressing
+    scheduler noise in the ratios.
+    """
+    scale = scale if scale is not None else default_scale()
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    if timing_rounds < 1:
+        raise ValueError("timing_rounds must be at least 1")
+    model, _ = get_trained_ddnn(scale)
+    _, test_set = get_dataset(scale)
+    views = np.concatenate([test_set.images] * repeats, axis=0)
+
+    cascade = ExitCascade.for_model(model, threshold)
+
+    # The numerical-equivalence guarantee, checked up front on a real batch
+    # (against the same cached plan the timed runs use).
+    probe = test_set.images[: min(64, len(test_set))]
+    max_logit_diff = verify_compiled(model, cascade.compiled_for(model), probe)
+
+    result = ExperimentResult(
+        name="compiled_forward",
+        paper_reference="Compiled inference fast path (extension)",
+        columns=[
+            "path",
+            "batch_size",
+            "samples",
+            "wall_s",
+            "throughput_sps",
+            "speedup_vs_eager",
+            "routing_identical",
+        ],
+        metadata={
+            "scale": scale.name,
+            "threshold": threshold,
+            "repeats": repeats,
+            "timing_rounds": timing_rounds,
+            "test_samples": len(test_set),
+            "reference_batch_size": REFERENCE_BATCH_SIZE,
+            "max_abs_logit_diff": max_logit_diff,
+        },
+    )
+
+    reference_speedup = None
+    for batch_size in batch_sizes:
+        timings = {}
+        routings = {}
+        for path in ("eager", "compiled"):
+            wall = float("inf")
+            routed = None
+            for _ in range(timing_rounds):
+                started = time.perf_counter()
+                routed = cascade.run_model(
+                    model, views, batch_size=batch_size, compile=(path == "compiled")
+                )
+                wall = min(wall, time.perf_counter() - started)
+            timings[path] = wall
+            routings[path] = routed
+
+        identical = np.array_equal(
+            routings["eager"].predictions, routings["compiled"].predictions
+        ) and np.array_equal(
+            routings["eager"].exit_indices, routings["compiled"].exit_indices
+        )
+        if not identical:
+            raise AssertionError(
+                f"compiled routing diverged from eager at batch size {batch_size}"
+            )
+
+        for path in ("eager", "compiled"):
+            wall = timings[path]
+            speedup = timings["eager"] / wall if wall > 0 else float("inf")
+            result.add_row(
+                path=path,
+                batch_size=batch_size,
+                samples=len(views),
+                wall_s=wall,
+                throughput_sps=len(views) / wall if wall > 0 else float("inf"),
+                speedup_vs_eager=speedup,
+                routing_identical="yes" if identical else "no",
+            )
+            if path == "compiled" and batch_size == REFERENCE_BATCH_SIZE:
+                reference_speedup = speedup
+
+    if reference_speedup is None and result.rows:
+        # Reference batch size not measured: fall back to the best compiled row.
+        reference_speedup = max(
+            row["speedup_vs_eager"] for row in result.rows if row["path"] == "compiled"
+        )
+    result.metadata["reference_speedup"] = reference_speedup
+    return result

@@ -9,10 +9,14 @@ draining the MVMC test traffic in several modes:
   baseline);
 * ``dynamic-N`` — micro-batching with ``max_batch_size = N``.
 
-For each mode it reports wall time, requests/second, the speedup over the
-sequential baseline, service latency percentiles and the per-exit traffic
-split.  Accuracy is also reported as a guard: batching must not change a
-single prediction (the cascade is numerically batch-size invariant).
+Each mode is measured on both forward paths — ``eager`` (the autograd
+Tensor stack) and ``compiled`` (the :mod:`repro.compile` fused inference
+plans) — so the table shows the batching win *and* the end-to-end compiled
+win.  For each row it reports wall time, requests/second, the speedup over
+that path's sequential baseline, service latency percentiles and the
+per-exit traffic split.  Accuracy is also reported as a guard: neither
+batching nor compilation may change a single prediction (the cascade is
+numerically batch-size invariant and the compiled path routing-identical).
 """
 
 from __future__ import annotations
@@ -26,10 +30,13 @@ from ..serving import BatchingPolicy, DDNNServer
 from .results import ExperimentResult
 from .runner import ExperimentScale, default_scale, get_dataset, get_trained_ddnn
 
-__all__ = ["DEFAULT_BATCH_SIZES", "run_serving_throughput"]
+__all__ = ["DEFAULT_BATCH_SIZES", "DEFAULT_PATHS", "run_serving_throughput"]
 
 #: Micro-batch ceilings measured against the sequential baseline.
 DEFAULT_BATCH_SIZES = (8, 32, 64)
+
+#: Forward paths measured for every serving mode.
+DEFAULT_PATHS = ("eager", "compiled")
 
 
 def run_serving_throughput(
@@ -38,6 +45,7 @@ def run_serving_throughput(
     batch_sizes: Sequence[int] = DEFAULT_BATCH_SIZES,
     repeats: int = 2,
     timing_rounds: int = 3,
+    paths: Sequence[str] = DEFAULT_PATHS,
 ) -> ExperimentResult:
     """Benchmark sequential vs dynamically-batched online serving.
 
@@ -45,12 +53,17 @@ def run_serving_throughput(
     stream, so the measurement window is long enough to be stable at CI
     scale.  Each mode is drained ``timing_rounds`` times and the fastest
     round is reported, which suppresses scheduler noise in the ratio.
+    ``paths`` selects the forward paths; eager rows come first so existing
+    consumers of the table keep their row ordering.
     """
     scale = scale if scale is not None else default_scale()
     if repeats < 1:
         raise ValueError("repeats must be at least 1")
     if timing_rounds < 1:
         raise ValueError("timing_rounds must be at least 1")
+    for path in paths:
+        if path not in ("eager", "compiled"):
+            raise ValueError(f"unknown forward path '{path}'")
     model, _ = get_trained_ddnn(scale)
     _, test_set = get_dataset(scale)
 
@@ -58,6 +71,7 @@ def run_serving_throughput(
         name="serving_throughput",
         paper_reference="Serving (Sec. III-F online)",
         columns=[
+            "path",
             "mode",
             "max_batch_size",
             "requests",
@@ -76,6 +90,7 @@ def run_serving_throughput(
             "repeats": repeats,
             "timing_rounds": timing_rounds,
             "test_samples": len(test_set),
+            "paths": tuple(paths),
         },
     )
 
@@ -83,47 +98,60 @@ def run_serving_throughput(
     for size in batch_sizes:
         policies.append((f"dynamic-{size}", BatchingPolicy(max_batch_size=size, max_wait_s=0.0)))
 
-    sequential_throughput: Optional[float] = None
     baseline_predictions: Optional[np.ndarray] = None
-    for mode, policy in policies:
-        wall = float("inf")
-        for _ in range(timing_rounds):
-            server = DDNNServer(model, threshold, policy=policy)
-            for _ in range(repeats):
-                for index in range(len(test_set)):
-                    server.submit(
-                        test_set.images[index],
-                        client_id="bench",
-                        target=int(test_set.labels[index]),
-                    )
-            started = time.perf_counter()
-            responses = server.run_until_drained()
-            wall = min(wall, time.perf_counter() - started)
+    best_throughput = {path: 0.0 for path in paths}
+    for path in paths:
+        sequential_throughput: Optional[float] = None
+        for mode, policy in policies:
+            wall = float("inf")
+            for _ in range(timing_rounds):
+                server = DDNNServer(
+                    model, threshold, policy=policy, compile=(path == "compiled")
+                )
+                for _ in range(repeats):
+                    for index in range(len(test_set)):
+                        server.submit(
+                            test_set.images[index],
+                            client_id="bench",
+                            target=int(test_set.labels[index]),
+                        )
+                started = time.perf_counter()
+                responses = server.run_until_drained()
+                wall = min(wall, time.perf_counter() - started)
 
-        responses.sort(key=lambda response: response.request_id)
-        predictions = np.array([response.prediction for response in responses])
-        if baseline_predictions is None:
-            baseline_predictions = predictions
-        elif not np.array_equal(predictions, baseline_predictions):
-            raise AssertionError(f"mode {mode} changed predictions — cascade not batch-invariant")
+            responses.sort(key=lambda response: response.request_id)
+            predictions = np.array([response.prediction for response in responses])
+            if baseline_predictions is None:
+                baseline_predictions = predictions
+            elif not np.array_equal(predictions, baseline_predictions):
+                raise AssertionError(
+                    f"{path} mode {mode} changed predictions — serving must be "
+                    "batch-size invariant and compiled-path identical"
+                )
 
-        throughput = len(responses) / wall if wall > 0 else float("inf")
-        if sequential_throughput is None:
-            sequential_throughput = throughput
-        snapshot = server.snapshot()
-        latencies = np.array([response.latency_s for response in responses])
-        targets = np.array([response.target for response in responses])
-        result.add_row(
-            mode=mode,
-            max_batch_size=policy.max_batch_size,
-            requests=len(responses),
-            wall_s=wall,
-            throughput_rps=throughput,
-            speedup_vs_sequential=throughput / sequential_throughput,
-            mean_latency_ms=1e3 * float(latencies.mean()),
-            p95_latency_ms=1e3 * float(np.percentile(latencies, 95)),
-            mean_batch=snapshot.mean_batch_size,
-            local_exit_pct=100.0 * snapshot.exit_fractions.get("local", 0.0),
-            accuracy_pct=100.0 * float(np.mean(predictions == targets)),
+            throughput = len(responses) / wall if wall > 0 else float("inf")
+            if sequential_throughput is None:
+                sequential_throughput = throughput
+            best_throughput[path] = max(best_throughput[path], throughput)
+            snapshot = server.snapshot()
+            latencies = np.array([response.latency_s for response in responses])
+            targets = np.array([response.target for response in responses])
+            result.add_row(
+                path=path,
+                mode=mode,
+                max_batch_size=policy.max_batch_size,
+                requests=len(responses),
+                wall_s=wall,
+                throughput_rps=throughput,
+                speedup_vs_sequential=throughput / sequential_throughput,
+                mean_latency_ms=1e3 * float(latencies.mean()),
+                p95_latency_ms=1e3 * float(np.percentile(latencies, 95)),
+                mean_batch=snapshot.mean_batch_size,
+                local_exit_pct=100.0 * snapshot.exit_fractions.get("local", 0.0),
+                accuracy_pct=100.0 * float(np.mean(predictions == targets)),
+            )
+    if "eager" in best_throughput and "compiled" in best_throughput and best_throughput["eager"]:
+        result.metadata["compiled_vs_eager_best"] = (
+            best_throughput["compiled"] / best_throughput["eager"]
         )
     return result

@@ -99,6 +99,10 @@ class EndDeviceNode(ComputeNode):
     ) -> None:
         super().__init__(name, ops_per_second)
         self.branch = branch
+        #: Optional :class:`~repro.compile.CompiledBranch`; when set, the
+        #: node's forwards run the fused inference plan instead of the
+        #: eager autograd stack (same outputs, no Tensor wrapping).
+        self.compiled = None
 
     # -- payload sizes -------------------------------------------------- #
     def summary_bytes(self) -> float:
@@ -133,11 +137,15 @@ class EndDeviceNode(ComputeNode):
             )
             scores = np.zeros((batch, self.branch.num_classes))
             return features, scores, 0.0
-        with no_grad():
-            feature_map, scores = self.branch(Tensor(view))
+        if self.compiled is not None:
+            feature_data, score_data = self.compiled(view)
+        else:
+            with no_grad():
+                feature_map, scores = self.branch(Tensor(view))
+            feature_data, score_data = feature_map.data, scores.data
         operations = self.branch.num_parameters() * batch
         seconds = self._account(operations, samples=batch)
-        return feature_map.data, scores.data, seconds
+        return feature_data, score_data, seconds
 
 
 class AggregatorNode(ComputeNode):
@@ -151,15 +159,20 @@ class AggregatorNode(ComputeNode):
     def __init__(self, name: str, aggregator: Aggregator, ops_per_second: float = 1e9) -> None:
         super().__init__(name, ops_per_second)
         self.aggregator = aggregator
+        #: Optional compiled aggregator function (see :func:`repro.compile.compile_aggregator`).
+        self.compiled = None
 
     def aggregate(self, device_outputs: Sequence[np.ndarray]) -> Tuple[np.ndarray, float]:
         """Fuse device outputs; returns ``(fused_array, compute_seconds)``."""
-        tensors = [Tensor(np.asarray(output, dtype=np.float64)) for output in device_outputs]
-        with no_grad():
-            fused = self.aggregator(tensors)
-        operations = sum(t.size for t in tensors)
-        seconds = self._account(operations, samples=len(tensors[0].data))
-        return fused.data, seconds
+        arrays = [np.asarray(output, dtype=np.float64) for output in device_outputs]
+        if self.compiled is not None:
+            fused_data = self.compiled(arrays)
+        else:
+            with no_grad():
+                fused_data = self.aggregator([Tensor(array) for array in arrays]).data
+        operations = sum(array.size for array in arrays)
+        seconds = self._account(operations, samples=len(arrays[0]))
+        return fused_data, seconds
 
 
 class EdgeComputeNode(ComputeNode):
@@ -177,6 +190,9 @@ class EdgeComputeNode(ComputeNode):
         self.aggregator = aggregator
         self.model = model
         self.device_indices = list(device_indices)
+        #: Optional compiled aggregator / tier (see :mod:`repro.compile`).
+        self.compiled_aggregator = None
+        self.compiled_tier = None
 
     def feature_bytes(self) -> float:
         """Size of the binarized feature map this edge forwards to the cloud."""
@@ -185,14 +201,19 @@ class EdgeComputeNode(ComputeNode):
 
     def process(self, device_features: Sequence[np.ndarray]) -> Tuple[np.ndarray, np.ndarray, float]:
         """Aggregate its devices' features and run the edge NN section."""
-        tensors = [Tensor(np.asarray(f, dtype=np.float64)) for f in device_features]
-        with no_grad():
-            aggregated = self.aggregator(tensors)
-            feature_map, logits = self.model(aggregated)
-        batch = len(tensors[0].data)
+        arrays = [np.asarray(f, dtype=np.float64) for f in device_features]
+        if self.compiled_aggregator is not None and self.compiled_tier is not None:
+            aggregated = self.compiled_aggregator(arrays)
+            feature_data, logit_data = self.compiled_tier(aggregated)
+        else:
+            with no_grad():
+                aggregated = self.aggregator([Tensor(array) for array in arrays])
+                feature_map, logits = self.model(aggregated)
+            feature_data, logit_data = feature_map.data, logits.data
+        batch = len(arrays[0])
         operations = self.model.num_parameters() * batch
         seconds = self._account(operations, samples=batch)
-        return feature_map.data, logits.data, seconds
+        return feature_data, logit_data, seconds
 
 
 class CloudComputeNode(ComputeNode):
@@ -208,14 +229,22 @@ class CloudComputeNode(ComputeNode):
         super().__init__(name, ops_per_second)
         self.aggregator = aggregator
         self.model = model
+        #: Optional compiled aggregator / tier (see :mod:`repro.compile`).
+        self.compiled_aggregator = None
+        self.compiled_tier = None
 
     def process(self, source_features: Sequence[np.ndarray]) -> Tuple[np.ndarray, float]:
         """Aggregate incoming feature maps and produce the cloud exit logits."""
-        tensors = [Tensor(np.asarray(f, dtype=np.float64)) for f in source_features]
-        with no_grad():
-            aggregated = self.aggregator(tensors)
-            _, logits = self.model(aggregated)
-        batch = len(tensors[0].data)
+        arrays = [np.asarray(f, dtype=np.float64) for f in source_features]
+        if self.compiled_aggregator is not None and self.compiled_tier is not None:
+            aggregated = self.compiled_aggregator(arrays)
+            _, logit_data = self.compiled_tier(aggregated)
+        else:
+            with no_grad():
+                aggregated = self.aggregator([Tensor(array) for array in arrays])
+                _, logits = self.model(aggregated)
+            logit_data = logits.data
+        batch = len(arrays[0])
         operations = self.model.num_parameters() * batch
         seconds = self._account(operations, samples=batch)
-        return logits.data, seconds
+        return logit_data, seconds

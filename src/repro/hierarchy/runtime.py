@@ -81,12 +81,21 @@ class HierarchyRuntime:
         thresholds: Thresholds,
         fault_plan: Optional[FaultPlan] = None,
         batch_size: int = 64,
+        compile: bool = False,
     ) -> None:
         self.deployment = deployment
         self.model = deployment.model
         self.fault_plan = fault_plan if fault_plan is not None else FaultPlan()
         self.batch_size = batch_size
+        # The cascade only supplies criteria/routing here; the nodes own the
+        # forwards, so the compiled sections are attached to them directly
+        # (scoped to run(), because the deployment is shared state).
         self.cascade = ExitCascade.for_model(self.model, thresholds)
+        self.compiled = None
+        if compile:
+            from ..compile import compile_ddnn
+
+            self.compiled = compile_ddnn(self.model)
 
     @property
     def criteria(self) -> List[ExitCriterion]:
@@ -95,11 +104,21 @@ class HierarchyRuntime:
 
     # ------------------------------------------------------------------ #
     def run(self, dataset: MVMCDataset) -> DistributedInferenceResult:
-        """Run distributed inference over every sample of ``dataset``."""
+        """Run distributed inference over every sample of ``dataset``.
+
+        The deployment's nodes are shared state (several runtimes may wrap
+        one deployment), so this runtime's compiled sections — snapshotted
+        at construction — are attached only for the duration of the run and
+        always detached afterwards.
+        """
         self.deployment.reset()
         self._apply_permanent_faults()
         model = self.model
         model.eval()
+        if self.compiled is not None:
+            self.deployment.attach_compiled(self.compiled)
+        else:
+            self.deployment.detach_compiled()
 
         views = dataset.images
         targets = dataset.labels
@@ -112,17 +131,21 @@ class HierarchyRuntime:
         entropies_seen = np.zeros(num_samples, dtype=np.float64)
         telemetry = Telemetry()
 
-        for start in range(0, num_samples, self.batch_size):
-            stop = min(start + self.batch_size, num_samples)
-            self._run_batch(
-                views[start:stop],
-                np.arange(start, stop),
-                predictions,
-                exit_names,
-                latencies,
-                bytes_per_sample,
-                entropies_seen,
-            )
+        try:
+            for start in range(0, num_samples, self.batch_size):
+                stop = min(start + self.batch_size, num_samples)
+                self._run_batch(
+                    views[start:stop],
+                    np.arange(start, stop),
+                    predictions,
+                    exit_names,
+                    latencies,
+                    bytes_per_sample,
+                    entropies_seen,
+                )
+        finally:
+            if self.compiled is not None:
+                self.deployment.detach_compiled()
 
         telemetry.record_batch(
             sample_indices=np.arange(num_samples),
@@ -257,6 +280,8 @@ class HierarchyRuntime:
 
             if len(edge_logit_list) == 1:
                 edge_logits = edge_logit_list[0]
+            elif self.compiled is not None:
+                edge_logits = self.compiled.edge_exit_aggregator(edge_logit_list)
             else:
                 with no_grad():
                     edge_logits = self.model.edge_exit_aggregator(

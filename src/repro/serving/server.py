@@ -70,6 +70,11 @@ class DDNNServer:
         Bound on per-session response history and per-exit outboxes;
         defaults to ``stats_window`` so a long-lived server's memory stays
         bounded without configuration.  Counters remain exact.
+    compile:
+        If ``True``, every forward (micro-batches *and* the shed-to-local
+        fast path) runs through the :mod:`repro.compile` fused inference
+        plan — same predictions and exit routing as the eager stack,
+        substantially higher throughput at serving batch sizes.
     """
 
     def __init__(
@@ -83,9 +88,10 @@ class DDNNServer:
         admission: Optional[AdmissionPolicy] = None,
         client_weights: Optional[Mapping[str, float]] = None,
         retention: Optional[int] = None,
+        compile: bool = False,
     ) -> None:
         self.model = model
-        self.cascade = ExitCascade.for_model(model, thresholds)
+        self.cascade = ExitCascade.for_model(model, thresholds, compile=compile)
         self.clock = clock
         self.policy = policy if policy is not None else BatchingPolicy()
         self.retention = stats_window if retention is None else retention
@@ -171,8 +177,11 @@ class DDNNServer:
     def _shed_to_local(self, request: InferenceRequest) -> InferenceResponse:
         """Answer a shed request from the local exit, bypassing the queue."""
         self.model.eval()
-        with no_grad():
-            output = self.model(request.views[None])
+        if self.cascade.compile_enabled:
+            output = self.cascade.compiled_for(self.model)(request.views[None])
+        else:
+            with no_grad():
+                output = self.model(request.views[None])
         decision = self.cascade.criteria[0].evaluate(output.exit_logits[0])
         response = InferenceResponse(
             request_id=request.request_id,

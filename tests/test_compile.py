@@ -1,0 +1,289 @@
+"""Compiled-vs-eager equivalence for the repro.compile inference plans."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compile import (
+    CompileError,
+    CompiledPlan,
+    compile_ddnn,
+    compile_plan,
+    verify_compiled,
+)
+from repro.core.cascade import ExitCascade
+from repro.core.config import DDNNTopology
+from repro.core.ddnn import build_ddnn
+from repro.core.inference import StagedInferenceEngine
+from repro.nn.blocks import ConvPBlock, FCBlock
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm1d,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    Module,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn.tensor import Tensor, no_grad
+
+RNG = np.random.default_rng(11)
+
+
+def eager_forward(module, x: np.ndarray) -> np.ndarray:
+    module.eval()
+    with no_grad():
+        return module(Tensor(x)).data
+
+
+def warm_batch_norm(module, x: np.ndarray, passes: int = 3) -> None:
+    """Give every BatchNorm non-trivial running statistics."""
+    module.train()
+    with no_grad():
+        for _ in range(passes):
+            module(Tensor(x + RNG.normal(scale=0.5, size=x.shape)))
+    module.eval()
+
+
+# --------------------------------------------------------------------------- #
+# Single-stack plans
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (1, 2), (2, 0), (2, 1), (3, 2)])
+def test_conv_plan_matches_eager_across_geometry(stride, padding):
+    conv = Conv2d(3, 5, kernel_size=3, stride=stride, padding=padding, rng=RNG)
+    x = RNG.normal(size=(4, 3, 12, 12))
+    plan = compile_plan(conv)
+    np.testing.assert_allclose(plan(x), eager_forward(conv, x), rtol=1e-12, atol=1e-12)
+
+
+@pytest.mark.parametrize("stride,padding", [(2, 0), (2, 1), (3, 1)])
+def test_max_pool_plan_matches_eager(stride, padding):
+    pool = MaxPool2d(3, stride=stride, padding=padding)
+    x = RNG.normal(size=(3, 4, 11, 11))
+    plan = compile_plan(pool)
+    np.testing.assert_array_equal(plan(x), eager_forward(pool, x))
+
+
+def test_avg_pool_plan_matches_eager():
+    pool = AvgPool2d(2, stride=2, padding=0)
+    x = RNG.normal(size=(2, 3, 8, 8))
+    plan = compile_plan(pool)
+    np.testing.assert_allclose(plan(x), eager_forward(pool, x), rtol=1e-12, atol=1e-12)
+
+
+def test_conv_bn_relu_folding_with_nontrivial_stats():
+    stack = Sequential(
+        Conv2d(3, 6, kernel_size=3, stride=1, padding=1, rng=RNG),
+        BatchNorm2d(6),
+        ReLU(),
+    )
+    x = RNG.normal(size=(6, 3, 10, 10))
+    warm_batch_norm(stack, x)
+    assert not np.allclose(stack[1].running_mean, 0.0)
+    assert not np.allclose(stack[1].running_var, 1.0)
+    # make gamma/beta non-trivial too
+    stack[1].gamma.data = RNG.normal(loc=1.0, scale=0.3, size=6)
+    stack[1].beta.data = RNG.normal(scale=0.2, size=6)
+
+    plan = compile_plan(stack)
+    # Conv+BN+ReLU folds into a single fused conv op.
+    assert len(plan.ops) == 1
+    np.testing.assert_allclose(plan(x), eager_forward(stack, x), rtol=1e-9, atol=1e-9)
+
+
+def test_linear_bn_folding_with_nontrivial_stats():
+    stack = Sequential(Linear(12, 7, rng=RNG), BatchNorm1d(7), ReLU())
+    x = RNG.normal(size=(9, 12))
+    warm_batch_norm(stack, x)
+    stack[1].gamma.data = RNG.normal(loc=1.0, scale=0.3, size=7)
+    stack[1].beta.data = RNG.normal(scale=0.2, size=7)
+
+    plan = compile_plan(stack)
+    assert len(plan.ops) == 1
+    np.testing.assert_allclose(plan(x), eager_forward(stack, x), rtol=1e-9, atol=1e-9)
+
+
+def test_fused_blocks_match_eager_bit_for_bit():
+    """Binary ConvP/FC blocks keep the exact eager arithmetic (sign-safe)."""
+    stack = Sequential(ConvPBlock(3, 4, binary=True, rng=RNG))
+    x = RNG.normal(size=(5, 3, 16, 16))
+    warm_batch_norm(stack, x)
+    plan = compile_plan(stack)
+    np.testing.assert_array_equal(plan(x), eager_forward(stack, x))
+
+    fc = FCBlock(10, 6, binary=True, final=False, rng=RNG)
+    vec = RNG.normal(size=(7, 10))
+    warm_batch_norm(fc, vec)
+    fc_plan = compile_plan(fc)
+    np.testing.assert_array_equal(fc_plan(vec), eager_forward(fc, vec))
+
+
+def test_elementwise_plans_match_eager():
+    stack = Sequential(Linear(5, 5, rng=RNG), Sigmoid(), Linear(5, 4, rng=RNG), Tanh(), Flatten())
+    x = RNG.normal(size=(3, 5))
+    plan = compile_plan(stack)
+    np.testing.assert_allclose(plan(x), eager_forward(stack, x), rtol=1e-12, atol=1e-12)
+
+
+def test_plan_replans_on_batch_shape_change():
+    stack = Sequential(Conv2d(2, 3, kernel_size=3, padding=1, rng=RNG), ReLU())
+    plan = compile_plan(stack)
+    for batch in (4, 1, 6, 1):
+        x = RNG.normal(size=(batch, 2, 9, 9))
+        np.testing.assert_allclose(plan(x), eager_forward(stack, x), rtol=1e-12, atol=1e-12)
+        assert plan._planned_shape == x.shape
+
+
+def test_unsupported_module_raises_compile_error():
+    class Weird(Module):
+        def forward(self, inputs):
+            return inputs
+
+    with pytest.raises(CompileError):
+        CompiledPlan(Weird())
+
+
+# --------------------------------------------------------------------------- #
+# Whole-model compilation
+# --------------------------------------------------------------------------- #
+def _warmed_model(**overrides):
+    defaults = dict(
+        num_devices=3,
+        device_filters=4,
+        cloud_filters=8,
+        cloud_conv_blocks=2,
+        cloud_hidden_units=16,
+        seed=0,
+    )
+    defaults.update(overrides)
+    model = build_ddnn(**defaults)
+    views = RNG.normal(size=(6, model.config.num_devices, 3, 32, 32))
+    model.train()
+    with no_grad():
+        for _ in range(2):
+            model(views + RNG.normal(scale=0.3, size=views.shape))
+    model.eval()
+    return model, views
+
+
+def test_compiled_ddnn_logits_allclose_fp32():
+    model, views = _warmed_model()
+    compiled = compile_ddnn(model)
+    worst = verify_compiled(model, compiled, views, rtol=1e-5, atol=1e-6)
+    assert worst < 1e-6
+
+
+def test_compiled_ddnn_batch_size_one():
+    model, views = _warmed_model()
+    compiled = compile_ddnn(model)
+    assert verify_compiled(model, compiled, views[:1]) < 1e-6
+
+
+def test_compiled_ddnn_edge_topology():
+    model, views = _warmed_model(
+        num_devices=4,
+        topology=DDNNTopology.from_name("devices_edges_cloud", num_edges=2),
+        cloud_conv_blocks=1,
+        cloud_hidden_units=8,
+    )
+    compiled = compile_ddnn(model)
+    assert verify_compiled(model, compiled, views) < 1e-6
+    assert compiled.exit_names == ["local", "edge", "cloud"]
+
+
+def test_compiled_ddnn_mixed_precision_cloud():
+    model, views = _warmed_model(binary_cloud=False)
+    compiled = compile_ddnn(model)
+    assert verify_compiled(model, compiled, views) < 1e-6
+
+
+def test_routing_decisions_byte_identical_through_cascade_router():
+    model, views = _warmed_model()
+    cascade = ExitCascade.for_model(model, [0.5, 1.0])
+    eager = cascade.run_model(model, views, batch_size=4, compile=False)
+    fast = cascade.run_model(model, views, batch_size=4, compile=True)
+    np.testing.assert_array_equal(eager.predictions, fast.predictions)
+    np.testing.assert_array_equal(eager.exit_indices, fast.exit_indices)
+    for name in cascade.exit_names:
+        np.testing.assert_array_equal(eager.exit_predictions[name], fast.exit_predictions[name])
+
+
+@pytest.mark.parametrize("threshold", [0.0, 0.5, 1.0])
+def test_routing_identical_across_thresholds_and_batch_sizes(threshold):
+    model, views = _warmed_model()
+    cascade = ExitCascade.for_model(model, threshold)
+    for batch_size in (1, 3, 16):
+        eager = cascade.run_model(model, views, batch_size=batch_size, compile=False)
+        fast = cascade.run_model(model, views, batch_size=batch_size, compile=True)
+        np.testing.assert_array_equal(eager.predictions, fast.predictions)
+        np.testing.assert_array_equal(eager.exit_indices, fast.exit_indices)
+        np.testing.assert_allclose(eager.entropies, fast.entropies, rtol=1e-9, atol=1e-12)
+
+
+def test_staged_inference_engine_compile_knob():
+    model, views = _warmed_model()
+    eager = StagedInferenceEngine(model, 0.8, batch_size=4).run(views)
+    fast = StagedInferenceEngine(model, 0.8, batch_size=4, compile=True).run(views)
+    np.testing.assert_array_equal(eager.predictions, fast.predictions)
+    np.testing.assert_array_equal(eager.exit_indices, fast.exit_indices)
+
+
+def test_compiled_plan_cache_and_invalidate():
+    model, views = _warmed_model()
+    cascade = ExitCascade.for_model(model, 0.8, compile=True)
+    first = cascade.compiled_for(model)
+    assert cascade.compiled_for(model) is first
+    cascade.invalidate_compiled()
+    assert cascade.compiled_for(model) is not first
+
+
+def test_arena_keeps_buffers_per_batch_shape():
+    """Alternating batch shapes must re-bind, not re-allocate, buffers."""
+    stack = Sequential(Conv2d(2, 3, kernel_size=3, padding=1, rng=RNG), ReLU())
+    plan = compile_plan(stack)
+    big = RNG.normal(size=(8, 2, 9, 9))
+    small = RNG.normal(size=(1, 2, 9, 9))
+    plan(big)
+    plan(small)
+    allocated = len(plan._arena._buffers)
+    # A server-style interleave of shapes re-plans but allocates nothing new.
+    for _ in range(3):
+        np.testing.assert_allclose(plan(big), eager_forward(stack, big), rtol=1e-12, atol=1e-12)
+        np.testing.assert_allclose(plan(small), eager_forward(stack, small), rtol=1e-12, atol=1e-12)
+    assert len(plan._arena._buffers) == allocated
+
+
+def test_hierarchy_runtime_scopes_compiled_attachment_to_run():
+    """Compiled sections attach only for the duration of a run: a shared
+    deployment is never left mutated, so eager and compiled runtimes can
+    alternate over it and stay equivalent."""
+    from repro.datasets.mvmc import DEFAULT_DEVICE_PROFILES, MVMCDataset
+    from repro.hierarchy.partition import partition_ddnn
+    from repro.hierarchy.runtime import HierarchyRuntime
+
+    model, views = _warmed_model()
+    dataset = MVMCDataset(
+        images=np.clip(views, 0.0, 1.0),
+        labels=np.zeros(len(views), dtype=np.int64),
+        device_labels=np.zeros((len(views), views.shape[1]), dtype=np.int64),
+        profiles=DEFAULT_DEVICE_PROFILES[: views.shape[1]],
+    )
+    deployment = partition_ddnn(model)
+    fast = HierarchyRuntime(deployment, 0.8, compile=True)
+    eager = HierarchyRuntime(deployment, 0.8)
+
+    # Constructing a compiled runtime does not mutate the shared deployment.
+    assert deployment.devices[0].compiled is None
+    fast_result = fast.run(dataset)
+    # ... and after its run, the deployment is back to the eager path.
+    assert deployment.devices[0].compiled is None
+    assert deployment.cloud.compiled_tier is None
+    eager_result = eager.run(dataset)
+    np.testing.assert_array_equal(fast_result.predictions, eager_result.predictions)
+    assert fast_result.exit_names_per_sample == eager_result.exit_names_per_sample

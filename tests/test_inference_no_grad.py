@@ -1,0 +1,151 @@
+"""Regression: inference-time forwards must never record an autograd graph.
+
+Every serving/inference entry point — ``ExitCascade.run_model``,
+``StagedInferenceEngine``, ``DDNNServer.process_batch`` (and the
+shed-to-local fast path), ``HierarchyRuntime`` and the baselines — must run
+its forwards under ``no_grad()``.  A graph recorded at inference time leaks
+memory linearly in the request count, which is fatal for a long-lived
+server, so this is pinned by spying on the forwards and asserting that no
+``Tensor`` parents are recorded.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.individual import IndividualDeviceModel
+from repro.core.cascade import ExitCascade
+from repro.core.ddnn import DDNN, build_ddnn
+from repro.core.inference import StagedInferenceEngine
+from repro.hierarchy.partition import partition_ddnn
+from repro.hierarchy.runtime import HierarchyRuntime
+from repro.nn.tensor import Tensor, is_grad_enabled
+from repro.serving import BatchingPolicy, DDNNServer, admission_policy
+
+
+@pytest.fixture()
+def model():
+    return build_ddnn(
+        num_devices=2, device_filters=2, cloud_filters=4, cloud_conv_blocks=1,
+        cloud_hidden_units=0, seed=0,
+    )
+
+
+@pytest.fixture()
+def views(model):
+    rng = np.random.default_rng(0)
+    return rng.normal(size=(6, model.config.num_devices, 3, 32, 32))
+
+
+@pytest.fixture()
+def forward_spy(monkeypatch):
+    """Record (grad_enabled, output) for every DDNN forward call."""
+    records = []
+    original = DDNN.forward
+
+    def spy(self, inputs):
+        output = original(self, inputs)
+        records.append((is_grad_enabled(), output))
+        return output
+
+    monkeypatch.setattr(DDNN, "forward", spy)
+    return records
+
+
+def _assert_graph_free(records):
+    assert records, "spy recorded no forwards"
+    for grad_enabled, output in records:
+        assert not grad_enabled, "inference forward ran with autograd enabled"
+        for logits in output.exit_logits:
+            assert not logits.requires_grad
+            assert logits._parents == ()
+            assert logits._backward is None
+
+
+def test_run_model_records_no_graph(model, views, forward_spy):
+    ExitCascade.for_model(model, 0.8).run_model(model, views, batch_size=3)
+    _assert_graph_free(forward_spy)
+
+
+def test_staged_inference_records_no_graph(model, views, forward_spy):
+    StagedInferenceEngine(model, 0.8, batch_size=4).run(views)
+    _assert_graph_free(forward_spy)
+
+
+def test_server_process_batch_records_no_graph(model, views, forward_spy):
+    server = DDNNServer(model, 0.8, policy=BatchingPolicy(max_batch_size=4, max_wait_s=0.0))
+    for sample in views:
+        server.submit(sample, client_id="spy")
+    server.run_until_drained()
+    _assert_graph_free(forward_spy)
+
+
+def test_server_shed_to_local_records_no_graph(model, views, forward_spy):
+    server = DDNNServer(model, 0.8, capacity=1, admission=admission_policy("shed-local"))
+    for sample in views:
+        server.offer(sample, client_id="spy")
+    server.run_until_drained()
+    _assert_graph_free(forward_spy)
+
+
+def test_hierarchy_runtime_records_no_graph(model, views):
+    from repro.datasets.mvmc import DEFAULT_DEVICE_PROFILES, MVMCDataset
+
+    labels = np.zeros(len(views), dtype=np.int64)
+    device_labels = np.zeros((len(views), views.shape[1]), dtype=np.int64)
+    dataset = MVMCDataset(
+        images=np.clip(views, 0.0, 1.0),
+        labels=labels,
+        device_labels=device_labels,
+        profiles=DEFAULT_DEVICE_PROFILES[: views.shape[1]],
+    )
+    runtime = HierarchyRuntime(partition_ddnn(model), 0.8, batch_size=4)
+    grad_flags = []
+    for device in runtime.deployment.devices:
+        original = device.branch.forward
+
+        def spy(inputs, _original=original):
+            grad_flags.append(is_grad_enabled())
+            return _original(inputs)
+
+        device.branch.forward = spy
+    runtime.run(dataset)
+    assert grad_flags and not any(grad_flags)
+
+
+def test_individual_baseline_predict_records_no_graph():
+    baseline = IndividualDeviceModel(filters=2, seed=0)
+    flags = []
+    original = baseline.classifier.forward
+
+    def spy(inputs, _original=original):
+        flags.append((is_grad_enabled(), inputs.requires_grad, inputs._parents))
+        return _original(inputs)
+
+    baseline.classifier.forward = spy
+    baseline.predict(np.random.default_rng(1).normal(size=(4, 3, 32, 32)))
+    assert flags
+    for grad_enabled, requires_grad, parents in flags:
+        assert not grad_enabled
+        assert not requires_grad
+        assert parents == ()
+
+
+def test_compiled_serving_never_touches_tensors(model, views, monkeypatch):
+    """The compiled path must not construct autograd Tensors at all."""
+    server = DDNNServer(model, 0.8, compile=True)
+    constructed = []
+    original_init = Tensor.__init__
+
+    def spy(self, data, requires_grad=False, name=None):
+        constructed.append(1)
+        original_init(self, data, requires_grad=requires_grad, name=name)
+
+    # Compile (and warm the plan) first, then watch the serving loop.
+    server.cascade.compiled_for(model)(views[:1])
+    monkeypatch.setattr(Tensor, "__init__", spy)
+    for sample in views:
+        server.submit(sample, client_id="spy")
+    server.run_until_drained()
+    assert not constructed, "compiled serving built autograd Tensors"
