@@ -1,0 +1,115 @@
+"""Tier-aware distributed serving: workers, link delays, adaptive shedding.
+
+The earlier serving examples run everything at one tier.  This one serves
+an open-loop request stream over the paper's *distributed* deployment —
+device tier, (optional) edge, cloud — connected by bandwidth/latency
+modelled links, using :class:`~repro.serving.fabric.DistributedServingFabric`:
+
+1. train a small multi-exit DDNN on the synthetic MVMC dataset;
+2. partition it onto simulated nodes and links (:func:`partition_ddnn`);
+3. drive the fabric with Poisson arrivals at 1.5x one device-tier worker's
+   capacity and watch p95 collapse as workers are added — exit decisions
+   stay byte-identical, only the queueing changes;
+4. choke the uplink bandwidth and watch transfer delay surface in the
+   offloaded requests' latency;
+5. enable adaptive shedding (raise the local-exit threshold under queue
+   pressure) and compare the accuracy/latency trade against dropping or
+   unbounded queueing.
+
+Run with::
+
+    PYTHONPATH=src python examples/distributed_serving.py
+"""
+
+from __future__ import annotations
+
+from repro.core import DDNNTrainer, TrainingConfig, build_ddnn
+from repro.datasets import DEFAULT_DEVICE_PROFILES, load_mvmc_splits
+from repro.hierarchy import DEFAULT_UPLINK, LinkSpec, partition_ddnn
+from repro.serving import (
+    AdaptiveThreshold,
+    BatchingPolicy,
+    DistributedServingFabric,
+    PoissonProcess,
+    ServiceModel,
+)
+
+
+def main() -> None:
+    num_devices = 4
+    profiles = DEFAULT_DEVICE_PROFILES[:num_devices]
+    train_set, test_set = load_mvmc_splits(
+        train_samples=160, test_samples=60, profiles=profiles, seed=7
+    )
+
+    print("Training a small DDNN (4 devices)...")
+    model = build_ddnn(
+        num_devices=num_devices,
+        device_filters=4,
+        cloud_filters=8,
+        cloud_conv_blocks=2,
+        cloud_hidden_units=32,
+        seed=1,
+    )
+    DDNNTrainer(model, TrainingConfig(epochs=10, batch_size=32, seed=0)).fit(train_set)
+    model.eval()
+
+    batching = BatchingPolicy(max_batch_size=8, max_wait_s=0.005)
+    device_service = ServiceModel(batch_overhead_s=0.002, per_sample_s=0.001)
+    upper_service = ServiceModel(batch_overhead_s=0.001, per_sample_s=0.0005)
+    offered_rps = 1.5 * device_service.capacity_rps(batching.max_batch_size)
+    print(f"\nOpen-loop Poisson arrivals at {offered_rps:.0f} rps "
+          "(1.5x one device-tier worker)\n")
+
+    def run(workers=1, uplink=DEFAULT_UPLINK, adaptive=None):
+        fabric = DistributedServingFabric(
+            partition_ddnn(model, uplink=uplink),
+            thresholds=0.8,
+            workers_per_tier=workers,
+            batching=batching,
+            service_models=[device_service, upper_service],
+            adaptive=adaptive,
+        )
+        return fabric.open_loop(
+            PoissonProcess(offered_rps, seed=0),
+            test_set.images,
+            targets=test_set.labels,
+            num_requests=180,
+        )
+
+    print(f"{'config':<34}{'offload%':>9}{'p50 ms':>9}{'p95 ms':>9}{'acc%':>7}")
+    for workers in (1, 2, 4):
+        report = run(workers=workers)
+        print(
+            f"{'workers=' + str(workers):<34}{100 * report.offload_fraction:>9.1f}"
+            f"{1e3 * report.p50_latency_s:>9.1f}{1e3 * report.p95_latency_s:>9.1f}"
+            f"{100 * report.accuracy:>7.1f}"
+        )
+
+    slow_uplink = LinkSpec(
+        bandwidth_bytes_per_s=DEFAULT_UPLINK.bandwidth_bytes_per_s / 4,
+        latency_s=DEFAULT_UPLINK.latency_s,
+    )
+    report = run(workers=2, uplink=slow_uplink)
+    print(
+        f"{'workers=2, uplink/4':<34}{100 * report.offload_fraction:>9.1f}"
+        f"{1e3 * report.p50_latency_s:>9.1f}{1e3 * report.p95_latency_s:>9.1f}"
+        f"{100 * report.accuracy:>7.1f}"
+    )
+
+    adaptive = AdaptiveThreshold(depth_trigger=2 * batching.max_batch_size)
+    report = run(workers=1, adaptive=adaptive)
+    print(
+        f"{'workers=1, adaptive shed':<34}{100 * report.offload_fraction:>9.1f}"
+        f"{1e3 * report.p50_latency_s:>9.1f}{1e3 * report.p95_latency_s:>9.1f}"
+        f"{100 * report.accuracy:>7.1f}"
+        f"   ({100 * report.relaxed_fraction:.0f}% answered under a relaxed threshold)"
+    )
+    print(
+        "\nSame decisions at every worker count; the adaptive row trades a"
+        "\nlittle accuracy for a bounded tail on the saturated single worker."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -33,12 +33,13 @@ from .ddnn import (
     verify_compiled,
 )
 from .ops import Arena, CompileError
-from .plan import CompiledPlan, compile_plan, flatten_modules
+from .plan import CompiledPlan, OpTiming, compile_plan, flatten_modules
 
 __all__ = [
     "Arena",
     "CompileError",
     "CompiledPlan",
+    "OpTiming",
     "compile_plan",
     "flatten_modules",
     "CompiledBranch",

@@ -185,6 +185,42 @@ class CompiledDDNN:
         self.cloud_aggregator = compile_aggregator(model.cloud_aggregator)
         self.cloud = CompiledTier(model.cloud, name="cloud")
 
+    # -- operator timing hook ------------------------------------------- #
+    def plans(self) -> List[CompiledPlan]:
+        """Every :class:`CompiledPlan` in the model, in forward order."""
+        found: List[CompiledPlan] = []
+        for branch in self.device_branches:
+            found.extend([branch.features, branch.classify])
+        for tier in self.edge_tiers:
+            found.extend([tier.features, tier.head])
+        found.extend([self.cloud.features, self.cloud.head])
+        return found
+
+    def enable_timing(self) -> None:
+        """Accumulate per-op wall time on every plan (aggregators are untimed)."""
+        for plan in self.plans():
+            plan.enable_timing()
+
+    def disable_timing(self) -> None:
+        for plan in self.plans():
+            plan.disable_timing()
+
+    def reset_timing(self) -> None:
+        for plan in self.plans():
+            plan.reset_timing()
+
+    @property
+    def total_time_s(self) -> float:
+        """Total accumulated op wall time across every plan."""
+        return sum(plan.total_time_s for plan in self.plans())
+
+    def op_timings(self):
+        """Per-op accumulated timings across every plan, in forward order."""
+        timings = []
+        for plan in self.plans():
+            timings.extend(plan.op_timings())
+        return timings
+
     # ------------------------------------------------------------------ #
     def _split_views(self, views: ViewsLike) -> List[np.ndarray]:
         if isinstance(views, (list, tuple)):

@@ -25,6 +25,8 @@ per shape, not per switch.
 
 from __future__ import annotations
 
+import time
+from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -62,7 +64,22 @@ from .ops import (
     _Op,
 )
 
-__all__ = ["CompileError", "CompiledPlan", "compile_plan", "flatten_modules"]
+__all__ = ["CompileError", "CompiledPlan", "OpTiming", "compile_plan", "flatten_modules"]
+
+
+@dataclass(frozen=True)
+class OpTiming:
+    """Accumulated wall time of one op position in a compiled plan."""
+
+    plan: str  # owning plan's name
+    index: int  # position in the op list
+    op: str  # op class name, e.g. "ConvOp"
+    calls: int
+    total_s: float
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.calls if self.calls else 0.0
 
 ModuleLike = Union[Module, Sequence[Module]]
 
@@ -240,6 +257,11 @@ class CompiledPlan:
         self._programs: dict = {}
         self._planned_shape: Optional[Tuple[int, ...]] = None
         self.output_shape: Optional[Tuple[int, ...]] = None
+        # Per-op wall-time accumulation (opt-in; the untimed forward loop
+        # stays free of clock calls).
+        self._timed = False
+        self._op_seconds = np.zeros(len(self.ops))
+        self._op_calls = np.zeros(len(self.ops), dtype=np.int64)
 
     def __repr__(self) -> str:
         label = f" {self.name!r}" if self.name else ""
@@ -263,11 +285,52 @@ class CompiledPlan:
     def forward(self, x: np.ndarray) -> np.ndarray:
         out = np.asarray(x, dtype=np.float64)
         steps, _ = self._program_for(out.shape)
+        if self._timed:
+            return self._forward_timed(out, steps)
         for op, context in steps:
             out = op.run(out, context)
         return out
 
     __call__ = forward
+
+    def _forward_timed(self, out: np.ndarray, steps) -> np.ndarray:
+        for index, (op, context) in enumerate(steps):
+            started = time.perf_counter()
+            out = op.run(out, context)
+            self._op_seconds[index] += time.perf_counter() - started
+            self._op_calls[index] += 1
+        return out
+
+    # -- operator timing hook ------------------------------------------- #
+    def enable_timing(self) -> None:
+        """Accumulate per-op wall time on every subsequent forward."""
+        self._timed = True
+
+    def disable_timing(self) -> None:
+        self._timed = False
+
+    def reset_timing(self) -> None:
+        """Zero the accumulated per-op counters (keeps timing enabled/disabled)."""
+        self._op_seconds[:] = 0.0
+        self._op_calls[:] = 0
+
+    @property
+    def total_time_s(self) -> float:
+        """Total accumulated op wall time since the last reset."""
+        return float(self._op_seconds.sum())
+
+    def op_timings(self) -> List[OpTiming]:
+        """Per-op accumulated timings, in op order."""
+        return [
+            OpTiming(
+                plan=self.name,
+                index=index,
+                op=type(op).__name__,
+                calls=int(self._op_calls[index]),
+                total_s=float(self._op_seconds[index]),
+            )
+            for index, op in enumerate(self.ops)
+        ]
 
 
 def compile_plan(module: ModuleLike, name: str = "") -> CompiledPlan:

@@ -14,6 +14,12 @@ from .cloud_offloading import DEFAULT_FILTER_SWEEP, run_cloud_offloading
 from .communication_reduction import run_communication_reduction
 from .compiled_forward import REFERENCE_BATCH_SIZE, run_compiled_forward
 from .dataset_stats import run_dataset_stats
+from .distributed_serving import (
+    DEFAULT_BANDWIDTH_SCALES,
+    DEFAULT_THRESHOLD_SWEEP,
+    DEFAULT_WORKER_COUNTS,
+    run_distributed_serving,
+)
 from .edge_hierarchy import run_edge_hierarchy
 from .fault_tolerance import run_fault_tolerance, run_multi_device_failures
 from .mixed_precision import run_mixed_precision
@@ -54,6 +60,7 @@ EXPERIMENT_REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
     "serving_throughput": run_serving_throughput,
     "overload_tail_latency": run_overload_study,
     "compiled_forward": run_compiled_forward,
+    "distributed_serving": run_distributed_serving,
 }
 
 __all__ = [
@@ -90,5 +97,9 @@ __all__ = [
     "DEFAULT_LOAD_MULTIPLIERS",
     "DEFAULT_POLICIES",
     "queue_latency_bound_s",
+    "run_distributed_serving",
+    "DEFAULT_WORKER_COUNTS",
+    "DEFAULT_BANDWIDTH_SCALES",
+    "DEFAULT_THRESHOLD_SWEEP",
     "EXPERIMENT_REGISTRY",
 ]

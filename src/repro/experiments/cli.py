@@ -8,6 +8,7 @@ Usage::
     python -m repro.experiments serve-bench --max-batch-size 32 --repeats 4
     python -m repro.experiments load-bench --policy reject --offered-x 2.0
     python -m repro.experiments infer-bench --batch-size 1 --batch-size 64
+    python -m repro.experiments dist-bench --workers 1 --workers 4 --offered-x 2.0
 
 Each experiment prints its table (the same rows the paper reports) and can
 optionally write it to a text file.
@@ -158,6 +159,87 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the server's forwards on the eager path (default: compiled)",
     )
 
+    dist_parser = subparsers.add_parser(
+        "dist-bench",
+        help="distributed serving fabric: p95 latency / offload fraction vs workers, bandwidth, threshold",
+    )
+    dist_parser.add_argument(
+        "--scale",
+        choices=("ci", "paper"),
+        default="ci",
+        help="experiment scale for the model and request stream",
+    )
+    dist_parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.8,
+        help="base local-exit entropy threshold used by the cascade",
+    )
+    dist_parser.add_argument(
+        "--workers",
+        type=int,
+        action="append",
+        dest="worker_counts",
+        default=None,
+        help="workers per tier to measure (repeatable; default: 1, 2 and 4)",
+    )
+    dist_parser.add_argument(
+        "--bandwidth-x",
+        type=float,
+        action="append",
+        dest="bandwidth_scales",
+        default=None,
+        help="link-bandwidth scale factors to measure (repeatable; default: 0.5 and 0.25)",
+    )
+    dist_parser.add_argument(
+        "--sweep-threshold",
+        type=float,
+        action="append",
+        dest="threshold_sweep",
+        default=None,
+        help="extra exit thresholds to measure (repeatable; default: 0.5 and 0.95)",
+    )
+    dist_parser.add_argument(
+        "--offered-x",
+        type=float,
+        default=1.5,
+        help="offered load as a multiple of one device-tier worker's capacity",
+    )
+    dist_parser.add_argument(
+        "--num-requests",
+        type=int,
+        default=240,
+        help="open-loop arrivals per row",
+    )
+    dist_parser.add_argument(
+        "--max-batch-size",
+        type=int,
+        default=8,
+        help="micro-batch ceiling of every tier's batching policy",
+    )
+    dist_parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="base seed for the arrival processes",
+    )
+    dist_parser.add_argument(
+        "--compiled",
+        action="store_true",
+        help="run tier forwards on per-worker compiled plans (default: eager)",
+    )
+    dist_parser.add_argument(
+        "--calibrate",
+        action="store_true",
+        help="use plan-timing-calibrated service models in the rows (machine-dependent)",
+    )
+    dist_parser.add_argument(
+        "--output-dir",
+        type=Path,
+        default=None,
+        help="directory to write the table as distributed_serving.txt",
+    )
+
     infer_parser = subparsers.add_parser(
         "infer-bench",
         help="benchmark the compiled inference fast path against the eager forward",
@@ -263,6 +345,41 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         text = result.to_text()
         print(text)
+        if args.output_dir is not None:
+            args.output_dir.mkdir(parents=True, exist_ok=True)
+            (args.output_dir / f"{result.name}.txt").write_text(text + "\n")
+        return 0
+
+    if args.command == "dist-bench":
+        from .distributed_serving import (
+            DEFAULT_BANDWIDTH_SCALES,
+            DEFAULT_THRESHOLD_SWEEP,
+            DEFAULT_WORKER_COUNTS,
+            run_distributed_serving,
+        )
+
+        scale = paper_scale() if args.scale == "paper" else ci_scale()
+        result = run_distributed_serving(
+            scale,
+            threshold=args.threshold,
+            worker_counts=args.worker_counts or DEFAULT_WORKER_COUNTS,
+            bandwidth_scales=args.bandwidth_scales or DEFAULT_BANDWIDTH_SCALES,
+            threshold_sweep=args.threshold_sweep or DEFAULT_THRESHOLD_SWEEP,
+            offered_x=args.offered_x,
+            num_requests=args.num_requests,
+            max_batch_size=args.max_batch_size,
+            seed=args.seed,
+            compiled=args.compiled,
+            calibrate=args.calibrate,
+        )
+        text = result.to_text()
+        print(text)
+        print(
+            "plan-timing calibration: "
+            f"overhead {result.metadata['measured_plan_batch_overhead_ms']:.3f} ms, "
+            f"per-sample {result.metadata['measured_plan_per_sample_ms']:.3f} ms "
+            f"({result.metadata['service_calibration']} rows)"
+        )
         if args.output_dir is not None:
             args.output_dir.mkdir(parents=True, exist_ok=True)
             (args.output_dir / f"{result.name}.txt").write_text(text + "\n")

@@ -35,6 +35,15 @@ from .partition import (
     partition_ddnn,
 )
 from .runtime import DistributedInferenceResult, HierarchyRuntime
+from .sections import (
+    CloudTierSection,
+    DeviceTierSection,
+    EdgeTierSection,
+    SectionResult,
+    TierSection,
+    TransferResult,
+    build_tier_sections,
+)
 from .telemetry import SampleTrace, Telemetry, TelemetrySummary
 
 __all__ = [
@@ -58,6 +67,13 @@ __all__ = [
     "DEFAULT_EDGE_LINK",
     "HierarchyRuntime",
     "DistributedInferenceResult",
+    "TierSection",
+    "DeviceTierSection",
+    "EdgeTierSection",
+    "CloudTierSection",
+    "SectionResult",
+    "TransferResult",
+    "build_tier_sections",
     "FaultPlan",
     "single_device_failures",
     "random_failures",

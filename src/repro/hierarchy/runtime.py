@@ -11,13 +11,17 @@ paper's Section III-D over a :class:`~repro.hierarchy.partition.HierarchyDeploym
    maps to the next tier (edge if present, otherwise cloud), where further
    aggregation and NN processing happen, and so on until the cloud exit.
 
-For efficiency the NN sections are evaluated in batches, but communication,
-compute latency and exit decisions are accounted per sample, so the byte
-counts match the paper's Eq. 1 exactly and the latency benefit of local exits
-is visible in the telemetry.  Numerically, the runtime produces exactly the
-same predictions as :class:`~repro.core.inference.StagedInferenceEngine`
-running the monolithic model (this equivalence is covered by integration
-tests).
+Since PR 4 the staged procedure itself lives in the shared tier machinery —
+:mod:`repro.hierarchy.sections` decomposes the deployment into per-tier
+sections and :class:`~repro.serving.fabric.DistributedServingFabric`
+schedules them — and this runtime is the *offline replay* of that fabric:
+the whole dataset arrives at time zero, one worker per tier drains it in
+fixed-size batches, and per-sample latency is the path latency (compute +
+transfer along the sample's route, no queueing), which reproduces the
+original runtime's accounting exactly.  Communication is accounted per
+sample so the byte counts match the paper's Eq. 1, and the predictions are
+identical to :class:`~repro.core.inference.StagedInferenceEngine` running
+the monolithic model (both equivalences are covered by tests).
 """
 
 from __future__ import annotations
@@ -30,10 +34,9 @@ import numpy as np
 from ..core.cascade import ExitCascade, Thresholds
 from ..core.exits import ExitCriterion
 from ..datasets.mvmc import MVMCDataset
-from ..nn.tensor import Tensor, no_grad
 from .faults import FaultPlan
-from .network import Message
-from .partition import CLOUD_NAME, LOCAL_AGGREGATOR_NAME, HierarchyDeployment
+from .partition import HierarchyDeployment
+from .sections import build_tier_sections
 from .telemetry import Telemetry
 
 __all__ = ["DistributedInferenceResult", "HierarchyRuntime"]
@@ -73,7 +76,12 @@ class DistributedInferenceResult:
 
 
 class HierarchyRuntime:
-    """Runs threshold-based DDNN inference over simulated nodes and links."""
+    """Runs threshold-based DDNN inference over simulated nodes and links.
+
+    This is the offline (infinite-arrival-rate) replay of the distributed
+    serving fabric: same tier sections, same offload messages, same byte
+    and latency accounting — just with the whole dataset enqueued at once.
+    """
 
     def __init__(
         self,
@@ -87,8 +95,8 @@ class HierarchyRuntime:
         self.model = deployment.model
         self.fault_plan = fault_plan if fault_plan is not None else FaultPlan()
         self.batch_size = batch_size
-        # The cascade only supplies criteria/routing here; the nodes own the
-        # forwards, so the compiled sections are attached to them directly
+        # The cascade supplies criteria/routing; the deployment's nodes own
+        # the forwards, so compiled sections are attached to them directly
         # (scoped to run(), because the deployment is shared state).
         self.cascade = ExitCascade.for_model(self.model, thresholds)
         self.compiled = None
@@ -111,42 +119,47 @@ class HierarchyRuntime:
         at construction — are attached only for the duration of the run and
         always detached afterwards.
         """
+        from ..serving.batcher import BatchingPolicy
+        from ..serving.fabric import DistributedServingFabric
+
         self.deployment.reset()
         self._apply_permanent_faults()
-        model = self.model
-        model.eval()
+        self.model.eval()
         if self.compiled is not None:
             self.deployment.attach_compiled(self.compiled)
         else:
             self.deployment.detach_compiled()
 
-        views = dataset.images
+        num_samples = len(dataset)
         targets = dataset.labels
-        num_samples = len(views)
+        try:
+            fabric = DistributedServingFabric(
+                self.deployment,
+                self.cascade.thresholds,
+                workers_per_tier=1,
+                batching=BatchingPolicy(max_batch_size=self.batch_size, max_wait_s=0.0),
+                sections=build_tier_sections(
+                    self.deployment, self.fault_plan, compiled=self.compiled
+                ),
+            )
+            responses = fabric.serve_dataset(dataset)
+        finally:
+            if self.compiled is not None:
+                self.deployment.detach_compiled()
 
         predictions = np.zeros(num_samples, dtype=np.int64)
         exit_names: List[str] = [""] * num_samples
         latencies = np.zeros(num_samples, dtype=np.float64)
         bytes_per_sample = np.zeros(num_samples, dtype=np.float64)
         entropies_seen = np.zeros(num_samples, dtype=np.float64)
+        for index, response in enumerate(responses):
+            predictions[index] = response.prediction
+            exit_names[index] = response.exit_name
+            latencies[index] = response.path_latency_s
+            bytes_per_sample[index] = response.bytes_transferred
+            entropies_seen[index] = response.entropy
+
         telemetry = Telemetry()
-
-        try:
-            for start in range(0, num_samples, self.batch_size):
-                stop = min(start + self.batch_size, num_samples)
-                self._run_batch(
-                    views[start:stop],
-                    np.arange(start, stop),
-                    predictions,
-                    exit_names,
-                    latencies,
-                    bytes_per_sample,
-                    entropies_seen,
-                )
-        finally:
-            if self.compiled is not None:
-                self.deployment.detach_compiled()
-
         telemetry.record_batch(
             sample_indices=np.arange(num_samples),
             predictions=predictions,
@@ -174,161 +187,3 @@ class HierarchyRuntime:
         for index, edge in enumerate(self.deployment.edges):
             if self.fault_plan.edge_is_down(index):
                 edge.fail()
-
-    def _run_batch(
-        self,
-        views: np.ndarray,
-        sample_indices: np.ndarray,
-        predictions: np.ndarray,
-        exit_names: List[str],
-        latencies: np.ndarray,
-        bytes_per_sample: np.ndarray,
-        entropies_seen: np.ndarray,
-    ) -> None:
-        deployment = self.deployment
-        fabric = deployment.fabric
-        batch = len(views)
-        num_devices = len(deployment.devices)
-        router = self.cascade.router(batch)
-
-        # -------- stage 1: end devices compute their sections ----------- #
-        device_features: List[np.ndarray] = []
-        device_scores: List[np.ndarray] = []
-        device_latency = np.zeros((num_devices, batch))
-        delivered = np.ones((num_devices, batch), dtype=bool)
-        for device_index, device in enumerate(deployment.devices):
-            features, scores, seconds = device.process(views[:, device_index])
-            for sample in range(batch):
-                if not self.fault_plan.sample_delivery(device_index):
-                    delivered[device_index, sample] = False
-                    features[sample] = 0.0
-                    scores[sample] = 0.0
-            device_features.append(features)
-            device_scores.append(scores)
-            device_latency[device_index, :] = seconds / max(batch, 1)
-
-        sample_latency = np.zeros(batch)
-        sample_bytes = np.zeros(batch)
-
-        # -------- stage 2: local aggregator and local exit --------------- #
-        if self.model.has_local_exit:
-            aggregator = deployment.local_aggregator
-            summary_latency = np.zeros(batch)
-            for device_index, device in enumerate(deployment.devices):
-                if device.failed:
-                    continue
-                summary_size = device.summary_bytes()
-                for sample in range(batch):
-                    if not delivered[device_index, sample]:
-                        continue
-                    seconds = fabric.send(
-                        Message(
-                            source=device.name,
-                            destination=LOCAL_AGGREGATOR_NAME,
-                            size_bytes=summary_size,
-                            kind="class-scores",
-                            sample_index=int(sample_indices[sample]),
-                        ),
-                        record=False,
-                    )
-                    device.stats.bytes_sent += summary_size
-                    sample_bytes[sample] += summary_size
-                    summary_latency[sample] = max(
-                        summary_latency[sample], device_latency[device_index, sample] + seconds
-                    )
-            fused_scores, aggregate_seconds = aggregator.aggregate(device_scores)
-            per_sample_aggregate = aggregate_seconds / max(batch, 1)
-            sample_latency += summary_latency + per_sample_aggregate
-            router.offer(fused_scores)
-
-        # -------- stage 3: edge tier (optional) -------------------------- #
-        current_sources = device_features
-        source_nodes = deployment.devices
-        if self.model.has_edge and router.has_remaining():
-            remaining = router.remaining
-            edge_features: List[np.ndarray] = []
-            edge_logit_list: List[np.ndarray] = []
-            edge_latency = np.zeros(batch)
-            for edge in deployment.edges:
-                group_features = [device_features[i] for i in edge.device_indices]
-                transfer_latency = np.zeros(batch)
-                for device_index in edge.device_indices:
-                    device = deployment.devices[device_index]
-                    if device.failed:
-                        continue
-                    size = device.feature_bytes()
-                    for sample in np.flatnonzero(remaining):
-                        if not delivered[device_index, sample]:
-                            continue
-                        seconds = fabric.send(
-                            Message(
-                                source=device.name,
-                                destination=edge.name,
-                                size_bytes=size,
-                                kind="features",
-                                sample_index=int(sample_indices[sample]),
-                            ),
-                            record=False,
-                        )
-                        device.stats.bytes_sent += size
-                        sample_bytes[sample] += size
-                        transfer_latency[sample] = max(transfer_latency[sample], seconds)
-                features, logits, seconds = edge.process(group_features)
-                edge_features.append(features)
-                edge_logit_list.append(logits)
-                edge_latency = np.maximum(edge_latency, transfer_latency + seconds / max(batch, 1))
-
-            if len(edge_logit_list) == 1:
-                edge_logits = edge_logit_list[0]
-            elif self.compiled is not None:
-                edge_logits = self.compiled.edge_exit_aggregator(edge_logit_list)
-            else:
-                with no_grad():
-                    edge_logits = self.model.edge_exit_aggregator(
-                        [Tensor(l) for l in edge_logit_list]
-                    ).data
-            sample_latency[remaining] += edge_latency[remaining]
-            router.offer(edge_logits)
-            current_sources = edge_features
-            source_nodes = deployment.edges
-
-        # -------- stage 4: cloud ------------------------------------------ #
-        if router.has_remaining():
-            remaining = router.remaining
-            cloud = deployment.cloud
-            transfer_latency = np.zeros(batch)
-            for node in source_nodes:
-                if node.failed:
-                    continue
-                size = node.feature_bytes()
-                for sample in np.flatnonzero(remaining):
-                    if hasattr(node, "device_indices"):
-                        pass  # edges always forward once they are alive
-                    elif not delivered[source_nodes.index(node), sample]:
-                        continue
-                    seconds = fabric.send(
-                        Message(
-                            source=node.name,
-                            destination=CLOUD_NAME,
-                            size_bytes=size,
-                            kind="features",
-                            sample_index=int(sample_indices[sample]),
-                        ),
-                        record=False,
-                    )
-                    node.stats.bytes_sent += size
-                    sample_bytes[sample] += size
-                    transfer_latency[sample] = max(transfer_latency[sample], seconds)
-
-            cloud_logits, seconds = cloud.process(current_sources)
-            per_sample_cloud = seconds / max(batch, 1)
-            sample_latency[remaining] += transfer_latency[remaining] + per_sample_cloud
-            router.offer(cloud_logits)
-
-        predictions[sample_indices] = router.predictions
-        entropies_seen[sample_indices] = router.entropies
-        cascade_names = self.cascade.exit_names
-        for offset, exit_idx in enumerate(router.exit_indices.tolist()):
-            exit_names[sample_indices[offset]] = cascade_names[exit_idx]
-        latencies[sample_indices] = sample_latency
-        bytes_per_sample[sample_indices] = sample_bytes

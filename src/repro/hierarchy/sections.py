@@ -1,0 +1,429 @@
+"""Per-tier sections of the exit cascade over a simulated deployment.
+
+The staged DDNN forward decomposes by tier: end devices plus the local
+aggregator produce the *local* exit, the optional edge nodes produce the
+*edge* exit, and the cloud produces the final exit.  Historically this
+decomposition lived inline in ``HierarchyRuntime._run_batch``; the serving
+fabric needs the same stages as first-class objects it can schedule on
+workers, so they live here as :class:`TierSection` subclasses shared by both
+layers.
+
+Each section does two things:
+
+* :meth:`TierSection.process` — run the tier's NN sections on a batch,
+  returning the tier's exit logits (if it has an exit), per-sample latency
+  and byte accounting, and a batch-level *carry* (the feature maps an
+  offload would forward);
+* :meth:`TierSection.offload` — send the carried features for the
+  not-confident rows up the hierarchy as :class:`~repro.hierarchy.network.Message`s
+  over the deployment's :class:`~repro.hierarchy.network.NetworkFabric`,
+  returning per-row transfer delay/bytes and the per-row payloads the next
+  tier will stack back into a batch.
+
+The accounting reproduces the original runtime loop: summaries are sent
+for every delivered sample, features only for offloaded samples from
+delivered devices, per-sample compute latency comes from the node
+ops models, and the per-device ``stats.bytes_sent`` counters match the
+paper's Eq. 1 byte accounting (covered by the hierarchy tests).  One
+decomposition note: the old loop charged offloaded samples
+``max_e(transfer_e + compute_e)`` over the edge tier in one term, while
+the split stages charge ``max(transfer)`` at the device offload and
+``max(compute)`` at the edge — identical for the homogeneous edge tiers
+:func:`~repro.hierarchy.partition.partition_ddnn` builds (every edge has
+the same per-sample compute), and an upper bound if edges are hand-tuned
+to heterogeneous speeds.
+
+Compute runs through the nodes' own forward paths (eager, or the compiled
+sections attached via :meth:`HierarchyDeployment.attach_compiled`).  A
+section can also be handed an explicit per-worker
+:class:`~repro.compile.CompiledDDNN` bundle (``plans=...``), which is how the
+fabric gives every simulated worker its own plan instances — the compiled
+buffer arenas are then thread-safe by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nn.tensor import Tensor, no_grad
+from .faults import FaultPlan
+from .network import Message
+from .partition import CLOUD_NAME, LOCAL_AGGREGATOR_NAME, HierarchyDeployment
+
+__all__ = [
+    "SectionResult",
+    "TransferResult",
+    "TierSection",
+    "DeviceTierSection",
+    "EdgeTierSection",
+    "CloudTierSection",
+    "build_tier_sections",
+]
+
+#: Per-row payload forwarded between tiers: one feature array per source node.
+RowPayload = Tuple[np.ndarray, ...]
+
+
+@dataclass
+class SectionResult:
+    """Outcome of running one tier's section on a batch of ``n`` rows."""
+
+    logits: Optional[np.ndarray]  # exit logits (n, C); None when the tier has no exit
+    carry: object  # batch-level state an offload would forward
+    service_s: float  # wall-clock the tier's worker is occupied by this batch
+    intake_s: np.ndarray  # per-row intra-tier transfer+wait latency (n,)
+    compute_s: np.ndarray  # per-row compute latency contribution (n,)
+    intake_bytes: np.ndarray  # per-row bytes sent inside the tier (n,)
+
+
+@dataclass
+class TransferResult:
+    """Outcome of offloading a set of rows to the next tier."""
+
+    payloads: List[RowPayload]  # one payload per offloaded row, in row order
+    delay_s: np.ndarray  # per-offloaded-row transfer delay
+    bytes: np.ndarray  # per-offloaded-row bytes put on the wire
+
+
+def stack_rows(payloads: Sequence[RowPayload]) -> List[np.ndarray]:
+    """Recombine per-row payloads into per-source batch arrays."""
+    num_sources = len(payloads[0])
+    return [np.stack([payload[s] for payload in payloads]) for s in range(num_sources)]
+
+
+class TierSection:
+    """One tier of the cascade: compute stage plus upward offload stage."""
+
+    #: Display name of the tier ("devices", "edge", "cloud").
+    tier_name: str = "tier"
+    #: Index into the cascade's exits, or None when the tier has no exit.
+    exit_index: Optional[int] = None
+    #: Exit name matching ``exit_index`` ("" when the tier has no exit).
+    exit_name: str = ""
+
+    def process(self, payload, plans=None) -> SectionResult:
+        raise NotImplementedError
+
+    def offload(self, carry, rows: np.ndarray) -> TransferResult:
+        raise NotImplementedError
+
+
+class DeviceTierSection(TierSection):
+    """End devices plus (optionally) the local aggregator and local exit.
+
+    ``process`` consumes raw multi-view batches of shape ``(n, D, C, H, W)``;
+    the carry holds the per-device binarized feature maps and the
+    delivered mask (intermittent-fault bookkeeping).  ``offload`` sends each
+    delivered device's feature map for every offloaded row to that device's
+    uplink destination (its edge, or the cloud when no edge tier exists).
+    """
+
+    tier_name = "devices"
+
+    def __init__(
+        self,
+        deployment: HierarchyDeployment,
+        fault_plan: Optional[FaultPlan] = None,
+        exit_index: Optional[int] = None,
+    ) -> None:
+        self.deployment = deployment
+        self.fault_plan = fault_plan if fault_plan is not None else FaultPlan()
+        self.exit_index = exit_index
+        self.exit_name = "local" if exit_index is not None else ""
+        # Uplink destination per device: its edge when an edge tier exists,
+        # the cloud otherwise (mirrors how partition_ddnn wires the fabric).
+        self._uplink_destination = {}
+        if deployment.edges:
+            for edge in deployment.edges:
+                for device_index in edge.device_indices:
+                    self._uplink_destination[device_index] = edge.name
+        else:
+            for device_index in range(len(deployment.devices)):
+                self._uplink_destination[device_index] = CLOUD_NAME
+
+    def process(self, payload, plans=None) -> SectionResult:
+        views = np.asarray(payload)
+        deployment = self.deployment
+        fabric = deployment.fabric
+        devices = deployment.devices
+        batch = len(views)
+        num_devices = len(devices)
+
+        device_features: List[np.ndarray] = []
+        device_scores: List[np.ndarray] = []
+        device_latency = np.zeros(num_devices)
+        device_seconds = np.zeros(num_devices)
+        delivered = np.ones((num_devices, batch), dtype=bool)
+        for device_index, device in enumerate(devices):
+            features, scores, seconds = self._device_forward(
+                device, device_index, views[:, device_index], plans
+            )
+            for sample in range(batch):
+                if not self.fault_plan.sample_delivery(device_index):
+                    delivered[device_index, sample] = False
+                    features[sample] = 0.0
+                    scores[sample] = 0.0
+            device_features.append(features)
+            device_scores.append(scores)
+            device_seconds[device_index] = seconds
+            device_latency[device_index] = seconds / max(batch, 1)
+
+        intake_s = np.zeros(batch)
+        intake_bytes = np.zeros(batch)
+        compute_s = np.zeros(batch)
+        logits: Optional[np.ndarray] = None
+        aggregate_seconds = 0.0
+
+        if self.exit_index is not None:
+            aggregator = deployment.local_aggregator
+            for device_index, device in enumerate(devices):
+                if device.failed:
+                    continue
+                summary_size = device.summary_bytes()
+                for sample in range(batch):
+                    if not delivered[device_index, sample]:
+                        continue
+                    seconds = fabric.send(
+                        Message(
+                            source=device.name,
+                            destination=LOCAL_AGGREGATOR_NAME,
+                            size_bytes=summary_size,
+                            kind="class-scores",
+                        ),
+                        record=False,
+                    )
+                    device.stats.bytes_sent += summary_size
+                    intake_bytes[sample] += summary_size
+                    intake_s[sample] = max(
+                        intake_s[sample], device_latency[device_index] + seconds
+                    )
+            logits, aggregate_seconds = self._aggregate(aggregator, device_scores, plans)
+            compute_s += aggregate_seconds / max(batch, 1)
+
+        return SectionResult(
+            logits=logits,
+            carry=(device_features, delivered),
+            service_s=float(device_seconds.max(initial=0.0)) + aggregate_seconds,
+            intake_s=intake_s,
+            compute_s=compute_s,
+            intake_bytes=intake_bytes,
+        )
+
+    def _device_forward(self, device, device_index: int, view_batch, plans):
+        branch = None if plans is None else plans.device_branches[device_index]
+        if branch is None or device.failed:
+            features, scores, seconds = device.process(view_batch)
+            if device.compiled is not None and not device.failed:
+                # The node-attached compiled branch returns views into the
+                # plan's reused buffers; the carry must survive later
+                # forwards through the same plan instance.
+                features = features.copy()
+            return features, scores, seconds
+        features, scores = branch(np.asarray(view_batch, dtype=np.float64))
+        batch = len(features)
+        seconds = device._account(device.branch.num_parameters() * batch, samples=batch)
+        return features.copy(), scores.copy(), seconds
+
+    def _aggregate(self, aggregator, device_scores, plans):
+        if plans is not None and plans.local_aggregator is not None:
+            arrays = [np.asarray(scores, dtype=np.float64) for scores in device_scores]
+            fused = plans.local_aggregator(arrays)
+            operations = sum(array.size for array in arrays)
+            seconds = aggregator._account(operations, samples=len(arrays[0]))
+            return fused, seconds
+        return aggregator.aggregate(device_scores)
+
+    def offload(self, carry, rows: np.ndarray) -> TransferResult:
+        device_features, delivered = carry
+        deployment = self.deployment
+        fabric = deployment.fabric
+        rows = np.asarray(rows, dtype=np.int64)
+        delay = np.zeros(len(rows))
+        transferred = np.zeros(len(rows))
+        for device_index, device in enumerate(deployment.devices):
+            if device.failed:
+                continue
+            size = device.feature_bytes()
+            destination = self._uplink_destination[device_index]
+            for position, row in enumerate(rows):
+                if not delivered[device_index, row]:
+                    continue
+                seconds = fabric.send(
+                    Message(
+                        source=device.name,
+                        destination=destination,
+                        size_bytes=size,
+                        kind="features",
+                    ),
+                    record=False,
+                )
+                device.stats.bytes_sent += size
+                transferred[position] += size
+                delay[position] = max(delay[position], seconds)
+        payloads = [
+            tuple(features[row] for features in device_features) for row in rows
+        ]
+        return TransferResult(payloads=payloads, delay_s=delay, bytes=transferred)
+
+
+class EdgeTierSection(TierSection):
+    """The edge (fog) tier: per-edge aggregation + NN sections + edge exit."""
+
+    tier_name = "edge"
+
+    def __init__(
+        self,
+        deployment: HierarchyDeployment,
+        exit_index: int,
+        compiled=None,
+    ) -> None:
+        self.deployment = deployment
+        self.exit_index = exit_index
+        self.exit_name = "edge"
+        #: Optional runtime-level CompiledDDNN whose edge_exit_aggregator is
+        #: used when no per-worker plan bundle is supplied.
+        self.compiled = compiled
+
+    def process(self, payload, plans=None) -> SectionResult:
+        device_features = [np.asarray(array) for array in payload]
+        deployment = self.deployment
+        batch = len(device_features[0])
+
+        edge_features: List[np.ndarray] = []
+        edge_logit_list: List[np.ndarray] = []
+        edge_seconds = np.zeros(max(len(deployment.edges), 1))
+        for edge_index, edge in enumerate(deployment.edges):
+            group = [device_features[i] for i in edge.device_indices]
+            features, logits, seconds = self._edge_forward(edge, edge_index, group, plans)
+            edge_features.append(features)
+            edge_logit_list.append(logits)
+            edge_seconds[edge_index] = seconds
+
+        logits = self._fuse_exit_logits(edge_logit_list, plans)
+        per_sample = float(edge_seconds.max(initial=0.0)) / max(batch, 1)
+        return SectionResult(
+            logits=logits,
+            carry=edge_features,
+            service_s=float(edge_seconds.max(initial=0.0)),
+            intake_s=np.zeros(batch),
+            compute_s=np.full(batch, per_sample),
+            intake_bytes=np.zeros(batch),
+        )
+
+    def _edge_forward(self, edge, edge_index: int, group, plans):
+        if plans is None:
+            features, logits, seconds = edge.process(group)
+            return features.copy(), logits, seconds
+        arrays = [np.asarray(array, dtype=np.float64) for array in group]
+        aggregated = plans.edge_aggregators[edge_index](arrays)
+        features, logits = plans.edge_tiers[edge_index](aggregated)
+        batch = len(arrays[0])
+        seconds = edge._account(edge.model.num_parameters() * batch, samples=batch)
+        return features.copy(), logits.copy(), seconds
+
+    def _fuse_exit_logits(self, edge_logit_list, plans):
+        if len(edge_logit_list) == 1:
+            return edge_logit_list[0]
+        if plans is not None and plans.edge_exit_aggregator is not None:
+            return plans.edge_exit_aggregator(edge_logit_list)
+        if self.compiled is not None:
+            return self.compiled.edge_exit_aggregator(edge_logit_list)
+        with no_grad():
+            return self.deployment.model.edge_exit_aggregator(
+                [Tensor(logits) for logits in edge_logit_list]
+            ).data
+
+    def offload(self, carry, rows: np.ndarray) -> TransferResult:
+        edge_features = carry
+        deployment = self.deployment
+        fabric = deployment.fabric
+        rows = np.asarray(rows, dtype=np.int64)
+        delay = np.zeros(len(rows))
+        transferred = np.zeros(len(rows))
+        for edge in deployment.edges:
+            if edge.failed:
+                continue
+            size = edge.feature_bytes()
+            for position, _ in enumerate(rows):
+                seconds = fabric.send(
+                    Message(
+                        source=edge.name,
+                        destination=CLOUD_NAME,
+                        size_bytes=size,
+                        kind="features",
+                    ),
+                    record=False,
+                )
+                edge.stats.bytes_sent += size
+                transferred[position] += size
+                delay[position] = max(delay[position], seconds)
+        payloads = [tuple(features[row] for features in edge_features) for row in rows]
+        return TransferResult(payloads=payloads, delay_s=delay, bytes=transferred)
+
+
+class CloudTierSection(TierSection):
+    """The cloud tier: final aggregation + cloud NN section (always exits)."""
+
+    tier_name = "cloud"
+
+    def __init__(self, deployment: HierarchyDeployment, exit_index: int) -> None:
+        self.deployment = deployment
+        self.exit_index = exit_index
+        self.exit_name = "cloud"
+
+    def process(self, payload, plans=None) -> SectionResult:
+        sources = [np.asarray(array) for array in payload]
+        batch = len(sources[0])
+        logits, seconds = self._cloud_forward(sources, plans)
+        per_sample = seconds / max(batch, 1)
+        return SectionResult(
+            logits=logits,
+            carry=None,
+            service_s=seconds,
+            intake_s=np.zeros(batch),
+            compute_s=np.full(batch, per_sample),
+            intake_bytes=np.zeros(batch),
+        )
+
+    def _cloud_forward(self, sources, plans):
+        cloud = self.deployment.cloud
+        if plans is None:
+            return cloud.process(sources)
+        arrays = [np.asarray(array, dtype=np.float64) for array in sources]
+        aggregated = plans.cloud_aggregator(arrays)
+        _, logits = plans.cloud(aggregated)
+        batch = len(arrays[0])
+        seconds = cloud._account(cloud.model.num_parameters() * batch, samples=batch)
+        return logits.copy(), seconds
+
+    def offload(self, carry, rows: np.ndarray) -> TransferResult:
+        raise RuntimeError("the cloud tier is final; nothing offloads past it")
+
+
+def build_tier_sections(
+    deployment: HierarchyDeployment,
+    fault_plan: Optional[FaultPlan] = None,
+    compiled=None,
+) -> List[TierSection]:
+    """Decompose a deployment into its cascade tiers, in exit order.
+
+    ``compiled`` is an optional :class:`~repro.compile.CompiledDDNN` used for
+    the edge-exit fusion when the deployment's nodes run attached compiled
+    sections (the :class:`HierarchyRuntime` compile path).
+    """
+    model = deployment.model
+    sections: List[TierSection] = []
+    next_exit = 0
+    if model.has_local_exit:
+        sections.append(DeviceTierSection(deployment, fault_plan, exit_index=next_exit))
+        next_exit += 1
+    else:
+        sections.append(DeviceTierSection(deployment, fault_plan, exit_index=None))
+    if model.has_edge:
+        sections.append(EdgeTierSection(deployment, exit_index=next_exit, compiled=compiled))
+        next_exit += 1
+    sections.append(CloudTierSection(deployment, exit_index=next_exit))
+    return sections

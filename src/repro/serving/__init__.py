@@ -18,7 +18,14 @@ the hard tail.  This package provides the online counterpart of the offline
   telemetry with pinned window semantics;
 * :class:`LoadGenerator` + arrival processes (:class:`PoissonProcess`,
   :class:`BurstyProcess`, :class:`TraceReplay`) and :class:`ServiceModel` —
-  deterministic open-loop overload studies on a :class:`SimulatedClock`.
+  deterministic open-loop overload studies on a :class:`SimulatedClock`;
+* :class:`DistributedServingFabric` — the tier-aware distributed runtime:
+  an :class:`EventLoop`-driven fabric of :class:`TierServer`s (N workers
+  per tier, per-worker compiled plans) where offloads cross
+  :class:`~repro.hierarchy.network.NetworkFabric` links with simulated
+  transfer delay, with optional :class:`AdaptiveThreshold` shedding.
+  :class:`DDNNServer` is its single-tier degenerate case, and
+  :class:`~repro.hierarchy.runtime.HierarchyRuntime` its offline replay.
 
 All timing flows through an injectable clock, so scheduling behaviour is
 deterministic under test while real deployments use wall time.
@@ -26,6 +33,7 @@ deterministic under test while real deployments use wall time.
 
 from .admission import (
     ADMISSION_POLICIES,
+    AdaptiveShed,
     AdmissionOutcome,
     AdmissionPolicy,
     AdmissionResult,
@@ -34,9 +42,19 @@ from .admission import (
     QueueFullError,
     RejectNewest,
     ShedToLocalExit,
+    TokenBucketPolicy,
     admission_policy,
 )
 from .batcher import BatchingPolicy, MicroBatcher
+from .clock import EventLoop, SimulatedClock
+from .fabric import (
+    AdaptiveThreshold,
+    DistributedServingFabric,
+    FabricReport,
+    FabricRequest,
+    FabricResponse,
+    TierServer,
+)
 from .loadgen import (
     ArrivalProcess,
     BurstyProcess,
@@ -44,7 +62,6 @@ from .loadgen import (
     LoadReport,
     PoissonProcess,
     ServiceModel,
-    SimulatedClock,
     TraceReplay,
 )
 from .queue import ClientSession, InferenceRequest, InferenceResponse, RequestQueue
@@ -63,6 +80,8 @@ __all__ = [
     "RejectNewest",
     "DropOldest",
     "ShedToLocalExit",
+    "TokenBucketPolicy",
+    "AdaptiveShed",
     "QueueFullError",
     "ADMISSION_POLICIES",
     "admission_policy",
@@ -72,6 +91,13 @@ __all__ = [
     "ServerStats",
     "StatsSnapshot",
     "SimulatedClock",
+    "EventLoop",
+    "AdaptiveThreshold",
+    "DistributedServingFabric",
+    "FabricRequest",
+    "FabricResponse",
+    "FabricReport",
+    "TierServer",
     "ArrivalProcess",
     "PoissonProcess",
     "BurstyProcess",

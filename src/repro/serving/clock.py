@@ -1,0 +1,85 @@
+"""Simulated time and the discrete-event scheduler shared by serving layers.
+
+:class:`SimulatedClock` is the manually-advanced time source the open-loop
+load generator has always used; it now lives here so the distributed serving
+fabric can share it.  :class:`EventLoop` adds the missing half of a
+discrete-event simulation: a time-ordered queue of callbacks.  Events fired
+at the same timestamp run in scheduling order, which makes every simulation
+built on the loop fully deterministic — the property all serving studies in
+this repo rely on for machine-independent latency tables.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Callable, List, Tuple
+
+__all__ = ["SimulatedClock", "EventLoop"]
+
+
+class SimulatedClock:
+    """A manually-advanced time source; never moves backwards."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = float(start)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0.0:
+            raise ValueError(f"cannot advance time by {seconds} (negative)")
+        self.now += seconds
+
+    def advance_to(self, timestamp: float) -> None:
+        """Move to ``timestamp`` if it is in the future; no-op otherwise."""
+        if timestamp > self.now:
+            self.now = timestamp
+
+
+class EventLoop:
+    """Deterministic discrete-event scheduler over a :class:`SimulatedClock`.
+
+    Callbacks are invoked in ``(time, scheduling order)`` order; a callback
+    may schedule further events (including at the current instant, which run
+    after every already-scheduled event at that instant).  An event scheduled
+    in the past fires "now" — time never rewinds.
+    """
+
+    def __init__(self, clock: SimulatedClock | None = None) -> None:
+        self.clock = clock if clock is not None else SimulatedClock()
+        self._heap: List[Tuple[float, int, Callable[[float], None]]] = []
+        self._sequence = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, when: float, callback: Callable[[float], None]) -> None:
+        """Enqueue ``callback(fire_time)`` to run at simulated time ``when``."""
+        if math.isnan(when):
+            raise ValueError("cannot schedule an event at NaN time")
+        heapq.heappush(self._heap, (max(when, self.clock.now), self._sequence, callback))
+        self._sequence += 1
+
+    def schedule_after(self, delay: float, callback: Callable[[float], None]) -> None:
+        """Enqueue a callback ``delay`` seconds from the current instant."""
+        if delay < 0.0:
+            raise ValueError(f"event delay must be >= 0, got {delay}")
+        self.schedule(self.clock.now + delay, callback)
+
+    def run(self, max_events: int | None = None) -> int:
+        """Fire events until the queue is empty; returns how many ran.
+
+        ``max_events`` is a safety valve for tests; exceeding it raises
+        :class:`RuntimeError` instead of looping forever.
+        """
+        fired = 0
+        while self._heap:
+            if max_events is not None and fired >= max_events:
+                raise RuntimeError(f"event loop exceeded {max_events} events")
+            when, _, callback = heapq.heappop(self._heap)
+            self.clock.advance_to(when)
+            callback(self.clock.now)
+            fired += 1
+        return fired

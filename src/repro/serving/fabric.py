@@ -1,0 +1,662 @@
+"""Tier-aware distributed serving fabric (discrete-event, multi-worker).
+
+This is the online counterpart of the paper's *distributed* deployment: a
+request enters at the device tier, most requests exit at the local
+aggregator, and only the unconfident tail is offloaded — as real messages
+over :class:`~repro.hierarchy.network.NetworkFabric` links whose bandwidth
+and propagation latency now *cost simulated time* on the request's clock,
+not just bytes.
+
+The fabric is a discrete-event simulation on the shared
+:class:`~repro.serving.clock.EventLoop`:
+
+* each cascade tier is a :class:`TierServer` — a FIFO queue, a
+  :class:`~repro.serving.batcher.BatchingPolicy`, and ``N`` workers, each
+  executing the tier's :class:`~repro.hierarchy.sections.TierSection`
+  (eager, or a per-worker compiled plan bundle, so the compile-path buffer
+  arenas are safe by construction);
+* a batch occupies a worker for the section's modelled compute time (or an
+  explicit :class:`~repro.serving.loadgen.ServiceModel` override), then its
+  rows either exit — producing a :class:`FabricResponse` — or are offloaded
+  to the next tier, arriving after the link's transfer delay;
+* everything (arrival interleaving, batch formation, worker assignment,
+  transfer timing) is deterministic in simulated time.
+
+Exit decisions are byte-identical to the monolithic single-loop baseline
+(:meth:`~repro.core.cascade.ExitCascade.run_model`) for any worker count
+and link configuration — workers and links change *when* things happen,
+never *what* is computed (covered by tests).  The single-tier special case
+of this fabric is exactly what :class:`~repro.serving.server.DDNNServer`
+implements; the offline :class:`~repro.hierarchy.runtime.HierarchyRuntime`
+is the fabric replayed at infinite arrival rate.
+
+Overload behaviour can additionally be made *adaptive*: an
+:class:`AdaptiveThreshold` raises the local-exit threshold while the device
+tier's backlog exceeds a trigger depth, shedding load by answering more
+requests locally (bounded latency, slightly degraded accuracy) instead of
+letting the offload queue grow.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.cascade import ExitCascade, Thresholds
+from ..core.exits import ExitCriterion
+from ..datasets.mvmc import MVMCDataset
+from ..hierarchy.network import Message, NetworkLink
+from ..hierarchy.partition import HierarchyDeployment, LinkSpec
+from ..hierarchy.sections import TierSection, build_tier_sections, stack_rows
+from .batcher import BatchingPolicy
+from .clock import EventLoop, SimulatedClock
+from .loadgen import ArrivalProcess, ServiceModel
+
+__all__ = [
+    "AdaptiveThreshold",
+    "FabricRequest",
+    "FabricResponse",
+    "FabricReport",
+    "TierServer",
+    "DistributedServingFabric",
+]
+
+
+@dataclass(frozen=True)
+class AdaptiveThreshold:
+    """Adaptive shedding: relax the local exit while the device tier is backed up.
+
+    When the device tier's queue depth (measured at batch formation) is at
+    least ``depth_trigger``, the local exit evaluates that batch with
+    ``relaxed_threshold`` instead of the cascade's configured threshold —
+    more samples exit locally, offload traffic drops, and the backlog
+    drains, at the cost of answering borderline samples from the weakest
+    classifier.  ``relaxed_threshold=1.0`` sheds every pressured sample
+    locally.
+    """
+
+    depth_trigger: int
+    relaxed_threshold: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.depth_trigger < 1:
+            raise ValueError(f"depth_trigger must be >= 1, got {self.depth_trigger}")
+        if not 0.0 <= self.relaxed_threshold <= 1.0:
+            raise ValueError(
+                f"relaxed_threshold must be in [0, 1], got {self.relaxed_threshold}"
+            )
+
+
+@dataclass
+class FabricRequest:
+    """One sample travelling up the tier hierarchy."""
+
+    request_id: int
+    client_id: str
+    views: np.ndarray
+    target: Optional[int] = None
+    submit_time: float = 0.0
+    #: Sum of per-tier compute + transfer latency along the sample's path
+    #: (the offline hierarchy metric; excludes queueing and batching waits).
+    path_latency_s: float = 0.0
+    #: Total bytes this sample put on the wire (paper Eq. 1 accounting).
+    bytes_transferred: float = 0.0
+
+
+@dataclass
+class FabricResponse:
+    """The cascade's answer for one request, with distributed accounting."""
+
+    request_id: int
+    client_id: str
+    prediction: int
+    exit_index: int
+    exit_name: str
+    entropy: float
+    target: Optional[int] = None
+    submit_time: float = 0.0
+    completion_time: float = 0.0
+    path_latency_s: float = 0.0
+    bytes_transferred: float = 0.0
+    batch_size: int = 1
+    #: True when the exit decision was taken under an adaptive relaxed
+    #: threshold (queue-pressure shedding).
+    relaxed: bool = False
+
+    @property
+    def latency_s(self) -> float:
+        """End-to-end sojourn time: queueing + compute + transfer delays."""
+        return self.completion_time - self.submit_time
+
+    @property
+    def correct(self) -> Optional[bool]:
+        if self.target is None:
+            return None
+        return self.prediction == self.target
+
+
+@dataclass
+class FabricReport:
+    """Aggregate outcome of a fabric run."""
+
+    served: int
+    duration_s: float
+    offload_fraction: float
+    exit_fractions: Dict[str, float]
+    mean_latency_s: float = 0.0
+    p50_latency_s: float = 0.0
+    p95_latency_s: float = 0.0
+    p99_latency_s: float = 0.0
+    max_latency_s: float = 0.0
+    mean_bytes: float = 0.0
+    accuracy: Optional[float] = None
+    relaxed_fraction: float = 0.0
+    responses: List[FabricResponse] = field(default_factory=list)
+
+
+@dataclass
+class _PendingItem:
+    """A queued sample at one tier: the request plus its tier-local payload."""
+
+    request: FabricRequest
+    payload: object
+    arrival_time: float
+
+
+@dataclass
+class _Worker:
+    index: int
+    busy_until: float = 0.0
+    plans: object = None  # per-worker CompiledDDNN bundle (compile=True only)
+
+
+class TierServer:
+    """One tier of the fabric: queue + batching policy + N workers."""
+
+    def __init__(
+        self,
+        section: TierSection,
+        num_workers: int = 1,
+        policy: Optional[BatchingPolicy] = None,
+        service_model: Optional[ServiceModel] = None,
+        worker_plans: Optional[Sequence[object]] = None,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        self.section = section
+        self.policy = policy if policy is not None else BatchingPolicy()
+        self.service_model = service_model
+        plans = list(worker_plans) if worker_plans is not None else [None] * num_workers
+        if len(plans) != num_workers:
+            raise ValueError("worker_plans must provide one bundle per worker")
+        self.workers = [_Worker(index, plans=plan) for index, plan in enumerate(plans)]
+        self.queue: Deque[_PendingItem] = deque()
+        self.batches_dispatched = 0
+        self.samples_processed = 0
+
+    @property
+    def name(self) -> str:
+        return self.section.tier_name
+
+    def free_worker(self, now: float) -> Optional[_Worker]:
+        for worker in self.workers:
+            if worker.busy_until <= now:
+                return worker
+        return None
+
+    def due(self, now: float, draining: bool) -> bool:
+        if not self.queue:
+            return False
+        if draining or len(self.queue) >= self.policy.max_batch_size:
+            return True
+        # Same float expression the wait timer is scheduled with, so the
+        # timer firing at exactly arrival + max_wait always finds the batch
+        # due (now - arrival >= max_wait can round the other way).
+        return now >= self.queue[0].arrival_time + self.policy.max_wait_s
+
+    def service_time(self, batch_size: int, section_service_s: float) -> float:
+        if self.service_model is not None:
+            return self.service_model.batch_time_s(batch_size)
+        return section_service_s
+
+
+class DistributedServingFabric:
+    """Discrete-event serving over the tiered deployment.
+
+    Parameters
+    ----------
+    deployment:
+        A :func:`~repro.hierarchy.partition.partition_ddnn` deployment; its
+        :class:`~repro.hierarchy.network.NetworkFabric` links supply the
+        transfer delays charged to offloaded requests.
+    thresholds:
+        Exit-cascade thresholds (same rules as every other cascade consumer).
+    workers_per_tier:
+        Worker count per tier — a single int (broadcast) or one per tier.
+    batching:
+        :class:`BatchingPolicy` per tier (single policy broadcasts).
+    compile:
+        Build one compiled plan bundle *per worker* (fused inference plans
+        with private buffer arenas; same decisions as eager).
+    sections:
+        Pre-built tier sections (the hierarchy runtime passes sections that
+        carry its fault plan); defaults to :func:`build_tier_sections`.
+    service_models:
+        Optional per-tier :class:`ServiceModel` overriding the node
+        ops-model compute time for worker occupancy (used for calibrated /
+        machine-independent studies); ``None`` entries keep the section
+        estimate.
+    client_link:
+        Optional ingress :class:`LinkSpec`; when set, every submitted
+        request reaches the device tier only after
+        ``latency + request_bytes / bandwidth`` of simulated delay.
+    request_bytes:
+        Payload size used for the ingress link (0 models a pure
+        propagation delay).
+    adaptive:
+        Optional :class:`AdaptiveThreshold` queue-pressure shedding.
+    """
+
+    def __init__(
+        self,
+        deployment: HierarchyDeployment,
+        thresholds: Thresholds,
+        workers_per_tier: Union[int, Sequence[int]] = 1,
+        batching: Union[None, BatchingPolicy, Sequence[Optional[BatchingPolicy]]] = None,
+        compile: bool = False,
+        clock: Optional[SimulatedClock] = None,
+        sections: Optional[Sequence[TierSection]] = None,
+        service_models: Optional[Sequence[Optional[ServiceModel]]] = None,
+        client_link: Optional[LinkSpec] = None,
+        request_bytes: float = 0.0,
+        adaptive: Optional[AdaptiveThreshold] = None,
+    ) -> None:
+        self.deployment = deployment
+        self.model = deployment.model
+        self.cascade = ExitCascade.for_model(self.model, thresholds)
+        self.events = EventLoop(clock)
+        self.adaptive = adaptive
+        self.compile_enabled = bool(compile)
+
+        if sections is None:
+            sections = build_tier_sections(deployment)
+        self.sections = list(sections)
+        num_tiers = len(self.sections)
+
+        workers = self._per_tier(workers_per_tier, num_tiers, "workers_per_tier")
+        policies = self._per_tier(batching, num_tiers, "batching")
+        services = list(service_models) if service_models is not None else [None] * num_tiers
+        if len(services) != num_tiers:
+            raise ValueError(f"service_models must have {num_tiers} entries")
+
+        # One compiled bundle per worker *slot*, shared across tiers: tier t's
+        # worker w uses only bundle w's tier-t plans, so concurrently-busy
+        # workers always touch disjoint plan objects (arena safety) without
+        # compiling the whole model once per (tier, worker) pair.
+        bundles: List[object] = []
+        if self.compile_enabled:
+            from ..compile import compile_ddnn
+
+            slots = max(int(count) if count is not None else 1 for count in workers)
+            bundles = [compile_ddnn(self.model) for _ in range(slots)]
+
+        self.tiers: List[TierServer] = []
+        for index, section in enumerate(self.sections):
+            count = int(workers[index]) if workers[index] is not None else 1
+            plans = bundles[:count] if self.compile_enabled else None
+            self.tiers.append(
+                TierServer(
+                    section,
+                    num_workers=count,
+                    policy=policies[index],
+                    service_model=services[index],
+                    worker_plans=plans,
+                )
+            )
+
+        if self.sections[-1].exit_index is None:
+            raise ValueError("the final tier must carry the cascade's final exit")
+
+        self.ingress: Optional[NetworkLink] = None
+        if client_link is not None:
+            self.ingress = NetworkLink(
+                "clients",
+                self.tiers[0].name,
+                bandwidth_bytes_per_s=client_link.bandwidth_bytes_per_s,
+                latency_s=client_link.latency_s,
+            )
+        self.request_bytes = float(request_bytes)
+
+        self.responses: List[FabricResponse] = []
+        self.offered = 0
+        self.relaxed_samples = 0
+        self._next_id = 0
+        self._draining = False
+        self._started_at = self.clock.now
+
+    # ------------------------------------------------------------------ #
+    @property
+    def clock(self) -> SimulatedClock:
+        return self.events.clock
+
+    @property
+    def tier_names(self) -> List[str]:
+        return [tier.name for tier in self.tiers]
+
+    @staticmethod
+    def _per_tier(value, num_tiers: int, label: str) -> List:
+        if value is None or isinstance(value, (int, BatchingPolicy)):
+            return [value] * num_tiers
+        values = list(value)
+        if len(values) != num_tiers:
+            raise ValueError(f"{label} must have {num_tiers} entries, got {len(values)}")
+        return values
+
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        views: np.ndarray,
+        client_id: str = "default",
+        target: Optional[int] = None,
+        at: Optional[float] = None,
+    ) -> int:
+        """Schedule one sample's arrival at the device tier; returns its id."""
+        return self.submit_many([views], client_id=client_id, targets=[target], at=at)[0]
+
+    def submit_many(
+        self,
+        views_list: Sequence[np.ndarray],
+        client_id: str = "default",
+        targets: Optional[Sequence[Optional[int]]] = None,
+        at: Optional[float] = None,
+    ) -> List[int]:
+        """Schedule a group of samples arriving together (one batch-forming event).
+
+        Samples submitted together enter the device-tier queue in one event,
+        so a replay of a whole dataset at time zero forms full micro-batches
+        instead of one degenerate batch per arrival.
+        """
+        when = self.clock.now if at is None else float(at)
+        if targets is None:
+            targets = [None] * len(views_list)
+        if len(targets) != len(views_list):
+            raise ValueError("targets must align with views_list")
+        requests = []
+        ingress_delay = 0.0
+        for views, target in zip(views_list, targets):
+            views = np.asarray(views)
+            if views.ndim != 4:
+                raise ValueError(
+                    f"views must have shape (num_devices, C, H, W), got {views.shape}"
+                )
+            delay = 0.0
+            if self.ingress is not None:
+                delay = self.ingress.send(
+                    Message(
+                        source="clients",
+                        destination=self.tiers[0].name,
+                        size_bytes=self.request_bytes,
+                        kind="request",
+                    )
+                )
+                ingress_delay = delay
+            request = FabricRequest(
+                request_id=self._next_id,
+                client_id=client_id,
+                views=views,
+                target=None if target is None else int(target),
+                submit_time=when,
+                path_latency_s=delay,
+                bytes_transferred=self.request_bytes if self.ingress is not None else 0.0,
+            )
+            self._next_id += 1
+            self.offered += 1
+            requests.append(request)
+        items = [(request, request.views) for request in requests]
+        self.events.schedule(
+            when + ingress_delay, lambda now, items=items: self._arrive(0, items, now)
+        )
+        return [request.request_id for request in requests]
+
+    def _arrive(self, tier_index: int, items: Sequence[Tuple[FabricRequest, object]], now: float) -> None:
+        tier = self.tiers[tier_index]
+        for request, payload in items:
+            tier.queue.append(_PendingItem(request, payload, now))
+        self._dispatch(tier_index, now)
+        if tier.queue and not self._draining and tier.policy.max_wait_s > 0.0:
+            self.events.schedule(
+                now + tier.policy.max_wait_s,
+                lambda fire_time, index=tier_index: self._dispatch(index, fire_time),
+            )
+
+    # ------------------------------------------------------------------ #
+    def _dispatch(self, tier_index: int, now: float) -> None:
+        tier = self.tiers[tier_index]
+        while tier.due(now, self._draining):
+            worker = tier.free_worker(now)
+            if worker is None:
+                return
+            relaxed = (
+                tier_index == 0
+                and self.adaptive is not None
+                and self.sections[0].exit_index is not None
+                and len(tier.queue) >= self.adaptive.depth_trigger
+            )
+            batch: List[_PendingItem] = []
+            while tier.queue and len(batch) < tier.policy.max_batch_size:
+                batch.append(tier.queue.popleft())
+            payload: object
+            if tier_index == 0:
+                payload = np.stack([item.payload for item in batch])
+            else:
+                payload = stack_rows([item.payload for item in batch])
+            result = tier.section.process(payload, plans=worker.plans)
+            service = tier.service_time(len(batch), result.service_s)
+            worker.busy_until = now + service
+            tier.batches_dispatched += 1
+            tier.samples_processed += len(batch)
+            self.events.schedule(
+                worker.busy_until,
+                lambda fire_time, t=tier_index, w=worker, b=batch, r=result, rx=relaxed: (
+                    self._complete(t, w, b, r, rx, fire_time)
+                ),
+            )
+
+    def _criterion(self, tier_index: int, relaxed: bool) -> ExitCriterion:
+        exit_index = self.sections[tier_index].exit_index
+        criterion = self.cascade.criteria[exit_index]
+        if relaxed:
+            assert self.adaptive is not None
+            return ExitCriterion(self.adaptive.relaxed_threshold, name=criterion.name)
+        return criterion
+
+    def _complete(
+        self,
+        tier_index: int,
+        worker: _Worker,
+        batch: List[_PendingItem],
+        result,
+        relaxed: bool,
+        now: float,
+    ) -> None:
+        section = self.sections[tier_index]
+        final = tier_index == len(self.tiers) - 1
+        batch_size = len(batch)
+        for row, item in enumerate(batch):
+            item.request.path_latency_s += float(result.intake_s[row] + result.compute_s[row])
+            item.request.bytes_transferred += float(result.intake_bytes[row])
+
+        if section.exit_index is None:
+            exit_mask = np.zeros(batch_size, dtype=bool)
+            decision = None
+        else:
+            decision = self._criterion(tier_index, relaxed).evaluate(result.logits)
+            exit_mask = np.ones(batch_size, dtype=bool) if final else decision.exit_mask
+
+        for row in np.flatnonzero(exit_mask):
+            request = batch[row].request
+            response = FabricResponse(
+                request_id=request.request_id,
+                client_id=request.client_id,
+                prediction=int(decision.predictions[row]),
+                exit_index=section.exit_index,
+                exit_name=section.exit_name,
+                entropy=float(decision.entropies[row]),
+                target=request.target,
+                submit_time=request.submit_time,
+                completion_time=now,
+                path_latency_s=request.path_latency_s,
+                bytes_transferred=request.bytes_transferred,
+                batch_size=batch_size,
+                relaxed=relaxed,
+            )
+            if relaxed:
+                self.relaxed_samples += 1
+            self.responses.append(response)
+
+        remaining = np.flatnonzero(~exit_mask)
+        if remaining.size:
+            transfer = section.offload(result.carry, remaining)
+            # Rows sharing a transfer delay arrive together, so the next
+            # tier sees them as one batch-forming event.
+            groups: Dict[float, List[Tuple[FabricRequest, object]]] = {}
+            for position, row in enumerate(remaining):
+                request = batch[row].request
+                delay = float(transfer.delay_s[position])
+                request.path_latency_s += delay
+                request.bytes_transferred += float(transfer.bytes[position])
+                groups.setdefault(delay, []).append((request, transfer.payloads[position]))
+            for delay, items in groups.items():
+                self.events.schedule(
+                    now + delay,
+                    lambda fire_time, t=tier_index + 1, payloads=items: (
+                        self._arrive(t, payloads, fire_time)
+                    ),
+                )
+
+        worker.busy_until = now
+        self._dispatch(tier_index, now)
+
+    # ------------------------------------------------------------------ #
+    def run_until_idle(self, max_events: Optional[int] = None) -> List[FabricResponse]:
+        """Fire every scheduled event; returns all responses so far."""
+        self.events.run(max_events=max_events)
+        return self.responses
+
+    def serve_dataset(
+        self, dataset: MVMCDataset, client_id: str = "default", at: Optional[float] = None
+    ) -> List[FabricResponse]:
+        """Replay a dataset at infinite arrival rate; responses in sample order.
+
+        Every sample arrives at once and batches are force-drained (the
+        batching policy's size cap still applies), which is exactly the
+        offline hierarchy-runtime regime.
+        """
+        first_id = self._next_id
+        self.submit_many(
+            [dataset.images[index] for index in range(len(dataset))],
+            client_id=client_id,
+            targets=[int(label) for label in dataset.labels],
+            at=at,
+        )
+        previous = self._draining
+        self._draining = True
+        try:
+            self.run_until_idle()
+        finally:
+            self._draining = previous
+        mine = [r for r in self.responses if r.request_id >= first_id]
+        return sorted(mine, key=lambda response: response.request_id)
+
+    def open_loop(
+        self,
+        process: ArrivalProcess,
+        views: np.ndarray,
+        targets: Optional[Sequence[int]] = None,
+        num_requests: int = 100,
+        clients: Sequence[str] = ("client-0",),
+    ) -> FabricReport:
+        """Drive the fabric with an open-loop arrival process; returns a report.
+
+        Arrivals are generated lazily (each arrival event schedules the
+        next), samples are cycled through ``views`` in arrival order, and
+        the run ends when the last admitted request completes.
+        """
+        if num_requests < 1:
+            raise ValueError(f"num_requests must be >= 1, got {num_requests}")
+        views = np.asarray(views)
+        if views.ndim != 5:
+            raise ValueError(
+                f"views must have shape (num_samples, num_devices, C, H, W), got {views.shape}"
+            )
+        if targets is not None and len(targets) != len(views):
+            raise ValueError("targets must align with views")
+        if not clients:
+            raise ValueError("at least one client id is required")
+        arrivals = iter(process)
+        first_id = self._next_id
+        started = self.clock.now
+
+        def _next_arrival(count: int) -> None:
+            if count >= num_requests:
+                return
+            when = next(arrivals, None)
+            if when is None:
+                return
+            index = count % len(views)
+            self.submit_many(
+                [views[index]],
+                client_id=clients[count % len(clients)],
+                targets=[None if targets is None else int(targets[index])],
+                at=max(when, self.clock.now),
+            )
+            self.events.schedule(
+                max(when, self.clock.now), lambda now, c=count + 1: _next_arrival(c)
+            )
+
+        _next_arrival(0)
+        self.run_until_idle()
+        mine = [r for r in self.responses if r.request_id >= first_id]
+        return self.report(mine, duration_s=self.clock.now - started)
+
+    # ------------------------------------------------------------------ #
+    def report(
+        self, responses: Optional[Sequence[FabricResponse]] = None, duration_s: Optional[float] = None
+    ) -> FabricReport:
+        """Summarise latency tails, offload fraction and accuracy."""
+        responses = list(self.responses if responses is None else responses)
+        duration = (
+            (self.clock.now - self._started_at) if duration_s is None else float(duration_s)
+        )
+        if not responses:
+            return FabricReport(
+                served=0, duration_s=duration, offload_fraction=0.0, exit_fractions={}
+            )
+        latencies = np.array([response.latency_s for response in responses])
+        exit_counts: Dict[str, int] = {}
+        for response in responses:
+            exit_counts[response.exit_name] = exit_counts.get(response.exit_name, 0) + 1
+        total = len(responses)
+        first_exit = self.sections[0].exit_name
+        offload_fraction = 1.0 - exit_counts.get(first_exit, 0) / total
+        judged = [response.correct for response in responses if response.correct is not None]
+        return FabricReport(
+            served=total,
+            duration_s=duration,
+            offload_fraction=offload_fraction,
+            exit_fractions={name: count / total for name, count in exit_counts.items()},
+            mean_latency_s=float(latencies.mean()),
+            p50_latency_s=float(np.percentile(latencies, 50)),
+            p95_latency_s=float(np.percentile(latencies, 95)),
+            p99_latency_s=float(np.percentile(latencies, 99)),
+            max_latency_s=float(latencies.max()),
+            mean_bytes=float(
+                np.mean([response.bytes_transferred for response in responses])
+            ),
+            accuracy=float(np.mean(judged)) if judged else None,
+            relaxed_fraction=sum(1 for r in responses if r.relaxed) / total,
+            responses=responses,
+        )

@@ -35,6 +35,7 @@ from typing import Iterator, List, Optional, Sequence
 import numpy as np
 
 from .admission import AdmissionOutcome
+from .clock import SimulatedClock
 from .queue import InferenceResponse
 from .server import DDNNServer
 
@@ -48,26 +49,6 @@ __all__ = [
     "LoadReport",
     "LoadGenerator",
 ]
-
-
-class SimulatedClock:
-    """A manually-advanced time source; never moves backwards."""
-
-    def __init__(self, start: float = 0.0) -> None:
-        self.now = float(start)
-
-    def __call__(self) -> float:
-        return self.now
-
-    def advance(self, seconds: float) -> None:
-        if seconds < 0.0:
-            raise ValueError(f"cannot advance time by {seconds} (negative)")
-        self.now += seconds
-
-    def advance_to(self, timestamp: float) -> None:
-        """Move to ``timestamp`` if it is in the future; no-op otherwise."""
-        if timestamp > self.now:
-            self.now = timestamp
 
 
 class ArrivalProcess:
@@ -224,6 +205,50 @@ class ServiceModel:
 
         t_one = _time(1)
         t_full = _time(batch_size)
+        per_sample = max((t_full - t_one) / (batch_size - 1), 1e-9)
+        overhead = max(t_one - per_sample, 0.0)
+        return cls(batch_overhead_s=overhead, per_sample_s=per_sample)
+
+    @classmethod
+    def from_plan_timings(
+        cls,
+        server: DDNNServer,
+        views: np.ndarray,
+        batch_size: int = 32,
+        repeats: int = 3,
+    ) -> "ServiceModel":
+        """Calibrate from the compiled plan's per-op timing hook.
+
+        Instead of timing whole wall-clock forwards (:meth:`measure`), this
+        enables :meth:`repro.compile.CompiledDDNN.enable_timing`, runs the
+        server's compiled cascade at batch sizes 1 and ``batch_size``, and
+        fits the affine model to the summed per-op times — pure kernel
+        time, free of Python dispatch and routing noise.  The per-op
+        breakdown stays available on the compiled plan afterwards
+        (``server.cascade.compiled_for(server.model).op_timings()``).
+        """
+        if batch_size < 2:
+            raise ValueError("batch_size must be >= 2 to fit two coefficients")
+        views = np.asarray(views)
+        compiled = server.cascade.compiled_for(server.model)
+        compiled.enable_timing()
+        try:
+
+            def _plan_time(n: int) -> float:
+                batch = np.repeat(views[None], n, axis=0) if views.ndim == 4 else views[:n]
+                best = math.inf
+                for _ in range(repeats):
+                    compiled.reset_timing()
+                    server.cascade.run_model(
+                        server.model, batch, batch_size=n, compile=True
+                    )
+                    best = min(best, compiled.total_time_s)
+                return best
+
+            t_one = _plan_time(1)
+            t_full = _plan_time(batch_size)
+        finally:
+            compiled.disable_timing()
         per_sample = max((t_full - t_one) / (batch_size - 1), 1e-9)
         overhead = max(t_one - per_sample, 0.0)
         return cls(batch_overhead_s=overhead, per_sample_s=per_sample)

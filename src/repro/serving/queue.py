@@ -236,7 +236,8 @@ class RequestQueue:
         """
         session = self.session(client_id)
         evicted: Optional[InferenceRequest] = None
-        if self.capacity is not None and len(self._pending) >= self.capacity:
+        full = self.capacity is not None and len(self._pending) >= self.capacity
+        if full or self.admission.pre_queue:
             outcome = self.admission.decide(self, client_id)
             if outcome is AdmissionOutcome.REJECTED:
                 self.admission_stats.rejected += 1
@@ -247,10 +248,11 @@ class RequestQueue:
                 self.admission_stats.shed += 1
                 session.shed += 1
                 return AdmissionResult(AdmissionOutcome.SHED, request=request)
-            # ACCEPTED while full: evict the head-of-line request.
-            evicted = self._pending.popleft()
-            self.admission_stats.dropped += 1
-            self.session(evicted.client_id).dropped += 1
+            if full:
+                # ACCEPTED while full: evict the head-of-line request.
+                evicted = self._pending.popleft()
+                self.admission_stats.dropped += 1
+                self.session(evicted.client_id).dropped += 1
         request = self._build_request(views, client_id, target)
         self._pending.append(request)
         session.submitted += 1
@@ -287,6 +289,29 @@ class RequestQueue:
             f"queue full (capacity={self.capacity}): admission refused the "
             "request — use offer() to handle overload outcomes"
         )
+
+    def requeue(self, request: InferenceRequest) -> Optional[InferenceRequest]:
+        """Admit a previously shed request after all, converting its counters.
+
+        Used by the adaptive-shed path when a pressured request's local-exit
+        entropy is too high for a degraded answer: the request keeps its
+        original enqueue stamp (its wait started when it first knocked) and
+        the shed counters are rolled back into accepted ones.  On a full
+        queue the head-of-line request is evicted to make room (returned so
+        the caller can account the drop).
+        """
+        session = self.session(request.client_id)
+        self.admission_stats.shed -= 1
+        session.shed -= 1
+        evicted: Optional[InferenceRequest] = None
+        if self.capacity is not None and len(self._pending) >= self.capacity:
+            evicted = self._pending.popleft()
+            self.admission_stats.dropped += 1
+            self.session(evicted.client_id).dropped += 1
+        self._pending.append(request)
+        session.submitted += 1
+        self.admission_stats.accepted += 1
+        return evicted
 
     def __len__(self) -> int:
         return len(self._pending)

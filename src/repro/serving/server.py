@@ -17,6 +17,12 @@ defaults (unbounded queue, no weights) the server runs the exact same
 cascade as :class:`~repro.core.inference.StagedInferenceEngine`, so online
 serving is numerically identical to offline batch inference (covered by
 tests).
+
+This server is the *single-tier degenerate case* of the distributed
+:class:`~repro.serving.fabric.DistributedServingFabric`: one tier, one
+worker, the whole cascade evaluated in place, no inter-tier links.  Use the
+fabric when the device/edge/cloud split, link delays, or multiple workers
+matter; both produce byte-identical exit decisions (covered by tests).
 """
 
 from __future__ import annotations
@@ -168,14 +174,38 @@ class DDNNServer:
         the cascade's first (local) exit — bounded latency, degraded
         confidence — and the response is delivered to the client session
         and local outbox before this method returns.
+
+        An adaptive policy (one exposing ``shed_threshold``, e.g.
+        :class:`~repro.serving.admission.AdaptiveShed`) sheds
+        *conditionally*: the local answer is delivered only when its entropy
+        clears the pressure-raised threshold, and the request is queued
+        normally otherwise — the result then reports ``ACCEPTED`` (with any
+        head-of-line eviction a full queue forced in ``evicted``).
         """
         result = self.queue.offer(views, client_id=client_id, target=target)
         if result.outcome is AdmissionOutcome.SHED and result.request is not None:
-            self._shed_to_local(result.request)
+            shed_threshold = getattr(self.queue.admission, "shed_threshold", None)
+            if shed_threshold is not None:
+                bound = shed_threshold(self.queue, self.cascade.thresholds[0])
+                if self._shed_to_local(result.request, max_entropy=bound) is None:
+                    evicted = self.queue.requeue(result.request)
+                    return AdmissionResult(
+                        AdmissionOutcome.ACCEPTED, request=result.request, evicted=evicted
+                    )
+            else:
+                self._shed_to_local(result.request)
         return result
 
-    def _shed_to_local(self, request: InferenceRequest) -> InferenceResponse:
-        """Answer a shed request from the local exit, bypassing the queue."""
+    def _shed_to_local(
+        self, request: InferenceRequest, max_entropy: Optional[float] = None
+    ) -> Optional[InferenceResponse]:
+        """Answer a shed request from the local exit, bypassing the queue.
+
+        With ``max_entropy`` set (adaptive shedding), the local answer is
+        delivered only when its normalized entropy is at most the bound;
+        otherwise nothing is delivered and ``None`` is returned so the
+        caller can queue the request instead.
+        """
         self.model.eval()
         if self.cascade.compile_enabled:
             output = self.cascade.compiled_for(self.model)(request.views[None])
@@ -183,6 +213,8 @@ class DDNNServer:
             with no_grad():
                 output = self.model(request.views[None])
         decision = self.cascade.criteria[0].evaluate(output.exit_logits[0])
+        if max_entropy is not None and float(decision.entropies[0]) > max_entropy:
+            return None
         response = InferenceResponse(
             request_id=request.request_id,
             client_id=request.client_id,

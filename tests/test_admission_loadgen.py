@@ -373,3 +373,191 @@ class TestLoadGenerator:
         assert report.offered == 5
         assert report.served == 5
         assert [r.enqueue_time for r in sorted(report.responses, key=lambda r: r.request_id)] == trace
+
+
+class TestTokenBucketPolicy:
+    def _queue(self, policy, capacity=None):
+        return RequestQueue(clock=SimulatedClock(), capacity=capacity, admission=policy)
+
+    def test_burst_then_reject_then_refill(self):
+        from repro.serving import TokenBucketPolicy
+
+        policy = TokenBucketPolicy(rate_rps=1.0, burst=3.0)
+        queue = self._queue(policy)
+        for _ in range(3):
+            assert queue.offer(_views(), client_id="a").accepted
+        result = queue.offer(_views(), client_id="a")
+        assert result.outcome is AdmissionOutcome.REJECTED
+        assert queue.admission_stats.rejected == 1
+        # One token refills per simulated second.
+        queue.clock.advance(1.0)
+        assert queue.offer(_views(), client_id="a").accepted
+        assert queue.offer(_views(), client_id="a").outcome is AdmissionOutcome.REJECTED
+
+    def test_buckets_are_per_client(self):
+        from repro.serving import TokenBucketPolicy
+
+        queue = self._queue(TokenBucketPolicy(rate_rps=1.0, burst=1.0))
+        assert queue.offer(_views(), client_id="a").accepted
+        assert queue.offer(_views(), client_id="a").outcome is AdmissionOutcome.REJECTED
+        # Client b's bucket is untouched by a's exhaustion.
+        assert queue.offer(_views(), client_id="b").accepted
+
+    def test_bucket_never_exceeds_burst(self):
+        from repro.serving import TokenBucketPolicy
+
+        policy = TokenBucketPolicy(rate_rps=10.0, burst=2.0)
+        queue = self._queue(policy)
+        queue.clock.advance(100.0)  # long idle: bucket caps at burst
+        assert policy.tokens("a", queue.clock()) == pytest.approx(2.0)
+
+    def test_full_queue_delegates_to_inner_policy_without_charging_rejects(self):
+        from repro.serving import TokenBucketPolicy
+
+        policy = TokenBucketPolicy(rate_rps=0.001, burst=5.0, inner=RejectNewest())
+        queue = self._queue(policy, capacity=1)
+        assert queue.offer(_views(), client_id="a").accepted
+        before = policy.tokens("a", queue.clock())
+        result = queue.offer(_views(), client_id="a")
+        assert result.outcome is AdmissionOutcome.REJECTED
+        # The inner full-queue rejection must not consume a token.
+        assert policy.tokens("a", queue.clock()) == pytest.approx(before)
+
+    def test_full_queue_drop_oldest_inner_still_rate_limits(self):
+        from repro.serving import TokenBucketPolicy
+
+        policy = TokenBucketPolicy(rate_rps=0.001, burst=2.0, inner=DropOldest())
+        queue = self._queue(policy, capacity=1)
+        assert queue.offer(_views(), client_id="a").accepted
+        result = queue.offer(_views(), client_id="a")
+        assert result.accepted and result.evicted is not None
+        # Bucket empty now: rejected even though drop-oldest would make room.
+        assert queue.offer(_views(), client_id="a").outcome is AdmissionOutcome.REJECTED
+
+    def test_validation_and_registry(self):
+        from repro.serving import TokenBucketPolicy
+
+        with pytest.raises(ValueError):
+            TokenBucketPolicy(rate_rps=0.0)
+        with pytest.raises(ValueError):
+            TokenBucketPolicy(rate_rps=1.0, burst=0.5)
+        policy = admission_policy("token-bucket", rate_rps=5.0, burst=2.0)
+        assert isinstance(policy, TokenBucketPolicy)
+        assert policy.rate_rps == 5.0
+
+    def test_server_rate_limits_chatty_client(self, trained_ddnn, tiny_test):
+        from repro.serving import TokenBucketPolicy
+
+        clock = SimulatedClock()
+        server = DDNNServer(
+            trained_ddnn,
+            0.8,
+            clock=clock,
+            capacity=64,
+            admission=TokenBucketPolicy(rate_rps=1.0, burst=4.0),
+        )
+        outcomes = [
+            server.offer(tiny_test.images[i % len(tiny_test)], client_id="chatty").outcome
+            for i in range(10)
+        ]
+        assert outcomes.count(AdmissionOutcome.ACCEPTED) == 4
+        assert outcomes.count(AdmissionOutcome.REJECTED) == 6
+        # A polite client still gets in.
+        assert server.offer(tiny_test.images[0], client_id="polite").accepted
+
+
+class TestAdaptiveShed:
+    def _server(self, model, capacity=8, low_watermark=0.5, relaxed=1.0):
+        from repro.serving import AdaptiveShed
+
+        clock = SimulatedClock()
+        return DDNNServer(
+            model,
+            0.8,
+            clock=clock,
+            capacity=capacity,
+            admission=AdaptiveShed(low_watermark=low_watermark, relaxed_threshold=relaxed),
+        )
+
+    def test_below_watermark_accepts_everything(self, trained_ddnn, tiny_test):
+        server = self._server(trained_ddnn, capacity=8)
+        for i in range(4):  # stays at/below the 0.5 * 8 watermark
+            assert server.offer(tiny_test.images[i % len(tiny_test)]).accepted
+        assert server.queue.admission_stats.shed == 0
+
+    def test_under_pressure_sheds_or_requeues_consistently(self, trained_ddnn, tiny_test):
+        server = self._server(trained_ddnn, capacity=8)
+        shed = accepted = 0
+        for i in range(24):
+            result = server.offer(tiny_test.images[i % len(tiny_test)], client_id="c")
+            if result.outcome is AdmissionOutcome.SHED:
+                shed += 1
+            else:
+                assert result.accepted
+                accepted += 1
+        stats = server.queue.admission_stats
+        # Nothing is rejected outright; counters stay consistent after requeues.
+        assert stats.rejected == 0
+        assert stats.shed == shed
+        assert stats.accepted == accepted
+        assert stats.offered == 24
+        assert shed > 0, "sustained pressure must shed something"
+        # Shed answers were delivered immediately from the local exit.
+        session = server.queue.session("c")
+        assert session.shed == shed
+        assert sum(1 for r in session.responses if r.shed) == shed
+        assert all(r.exit_index == 0 for r in session.responses if r.shed)
+
+    def test_full_queue_sheds_everything_at_relaxed_one(self, trained_ddnn, tiny_test):
+        server = self._server(trained_ddnn, capacity=4)
+        outcomes = []
+        for i in range(12):
+            outcomes.append(
+                server.offer(tiny_test.images[i % len(tiny_test)]).outcome
+            )
+        # Once the queue is pinned at capacity the threshold reaches 1.0 and
+        # every further arrival is answered locally.
+        assert len(server.queue) <= 4
+        assert outcomes[-1] is AdmissionOutcome.SHED
+
+    def test_shed_threshold_interpolates_with_pressure(self):
+        from repro.serving import AdaptiveShed
+
+        policy = AdaptiveShed(low_watermark=0.5, relaxed_threshold=1.0)
+        # shed_threshold only reads depth/capacity; fill a plain queue.
+        queue = RequestQueue(clock=SimulatedClock(), capacity=10)
+        base = 0.6
+        assert policy.shed_threshold(queue, base) == pytest.approx(base)  # empty
+        for _ in range(5):
+            queue.submit(_views())
+        assert policy.shed_threshold(queue, base) == pytest.approx(base)  # at watermark
+        for _ in range(5):
+            queue.submit(_views())
+        assert policy.shed_threshold(queue, base) == pytest.approx(1.0)  # full
+
+    def test_requires_bounded_queue(self):
+        from repro.serving import AdaptiveShed
+
+        queue = RequestQueue(clock=SimulatedClock(), admission=AdaptiveShed())
+        with pytest.raises(ValueError):
+            queue.offer(_views())
+
+    def test_validation(self):
+        from repro.serving import AdaptiveShed
+
+        with pytest.raises(ValueError):
+            AdaptiveShed(low_watermark=1.0)
+        with pytest.raises(ValueError):
+            AdaptiveShed(relaxed_threshold=-0.1)
+
+    def test_requeue_preserves_offer_accounting(self):
+        queue = RequestQueue(clock=SimulatedClock(), capacity=4)
+        result_request = queue._build_request(_views(), "c", None)
+        queue.admission_stats.shed += 1
+        queue.session("c").shed += 1
+        evicted = queue.requeue(result_request)
+        assert evicted is None
+        assert len(queue) == 1
+        stats = queue.admission_stats
+        assert stats.shed == 0 and stats.accepted == 1
+        assert queue.session("c").submitted == 1

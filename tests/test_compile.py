@@ -287,3 +287,63 @@ def test_hierarchy_runtime_scopes_compiled_attachment_to_run():
     eager_result = eager.run(dataset)
     np.testing.assert_array_equal(fast_result.predictions, eager_result.predictions)
     assert fast_result.exit_names_per_sample == eager_result.exit_names_per_sample
+
+
+class TestPlanTiming:
+    def _plan(self):
+        conv = Conv2d(3, 4, kernel_size=3, padding=1, rng=RNG)
+        return compile_plan(Sequential(conv, ReLU(), MaxPool2d(2)))
+
+    def test_disabled_by_default(self):
+        plan = self._plan()
+        plan(RNG.standard_normal((2, 3, 8, 8)))
+        assert plan.total_time_s == 0.0
+        assert all(t.calls == 0 for t in plan.op_timings())
+
+    def test_accumulates_per_op_and_resets(self):
+        plan = self._plan()
+        plan.enable_timing()
+        x = RNG.standard_normal((2, 3, 8, 8))
+        plan(x)
+        plan(x)
+        timings = plan.op_timings()
+        assert len(timings) == len(plan.ops)
+        assert all(t.calls == 2 for t in timings)
+        assert plan.total_time_s > 0.0
+        assert plan.total_time_s == pytest.approx(sum(t.total_s for t in timings))
+        assert all(t.mean_s == pytest.approx(t.total_s / 2) for t in timings)
+        plan.reset_timing()
+        assert plan.total_time_s == 0.0
+        plan.disable_timing()
+        plan(x)
+        assert plan.total_time_s == 0.0
+
+    def test_compiled_ddnn_aggregates_all_plans(self):
+        model, views = _warmed_model()
+        compiled = compile_ddnn(model)
+        compiled.enable_timing()
+        compiled(views)
+        timings = compiled.op_timings()
+        assert timings and all(t.calls == 1 for t in timings)
+        assert compiled.total_time_s == pytest.approx(sum(t.total_s for t in timings))
+        # Every sub-plan contributed (device branches + cloud tier).
+        assert {t.plan for t in timings} >= {"device-features", "cloud-head"}
+        compiled.reset_timing()
+        assert compiled.total_time_s == 0.0
+
+    def test_service_model_calibration_from_plan_timings(self):
+        from repro.serving import DDNNServer, ServiceModel
+
+        model, views = _warmed_model()
+        server = DDNNServer(model, 0.8, compile=True)
+        model = ServiceModel.from_plan_timings(
+            server, views[0], batch_size=4, repeats=2
+        )
+        assert model.per_sample_s > 0.0
+        assert model.batch_overhead_s >= 0.0
+        assert model.batch_time_s(4) > model.batch_time_s(1)
+        # Timing is switched back off afterwards.
+        compiled = server.cascade.compiled_for(server.model)
+        before = compiled.total_time_s
+        compiled(views)
+        assert compiled.total_time_s == before

@@ -1,0 +1,350 @@
+"""Tests for the distributed serving fabric (event loop, tiers, workers, links)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DDNNConfig, DDNNTopology, DDNNTrainer, TrainingConfig, build_ddnn
+from repro.core.cascade import ExitCascade
+from repro.hierarchy import LinkSpec, partition_ddnn
+from repro.hierarchy.partition import DEFAULT_LOCAL_LINK, DEFAULT_UPLINK
+from repro.serving import (
+    AdaptiveThreshold,
+    BatchingPolicy,
+    DDNNServer,
+    DistributedServingFabric,
+    EventLoop,
+    PoissonProcess,
+    SimulatedClock,
+)
+
+
+def _decisions(responses):
+    responses = sorted(responses, key=lambda r: r.request_id)
+    return (
+        np.array([r.prediction for r in responses]),
+        np.array([r.exit_index for r in responses]),
+        np.array([r.entropy for r in responses]),
+    )
+
+
+class TestEventLoop:
+    def test_fires_in_time_order_with_fifo_ties(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(2.0, lambda t: fired.append(("b", t)))
+        loop.schedule(1.0, lambda t: fired.append(("a", t)))
+        loop.schedule(2.0, lambda t: fired.append(("c", t)))
+        loop.run()
+        assert fired == [("a", 1.0), ("b", 2.0), ("c", 2.0)]
+        assert loop.clock.now == 2.0
+
+    def test_callbacks_may_schedule_more_events(self):
+        loop = EventLoop()
+        fired = []
+
+        def chain(t):
+            fired.append(t)
+            if len(fired) < 3:
+                loop.schedule_after(1.0, chain)
+
+        loop.schedule(0.5, chain)
+        loop.run()
+        assert fired == [0.5, 1.5, 2.5]
+
+    def test_past_events_fire_now_and_never_rewind(self):
+        loop = EventLoop(SimulatedClock(start=5.0))
+        times = []
+        loop.schedule(1.0, times.append)
+        loop.run()
+        assert times == [5.0]
+
+    def test_max_events_guard(self):
+        loop = EventLoop()
+
+        def forever(t):
+            loop.schedule_after(1.0, forever)
+
+        loop.schedule(0.0, forever)
+        with pytest.raises(RuntimeError):
+            loop.run(max_events=10)
+
+
+class TestFabricEquivalence:
+    def test_two_tier_multiworker_matches_eager_baseline(self, trained_ddnn, tiny_test):
+        """Acceptance: >=2 tiers, N>=2 workers, link delays on — exit
+        decisions byte-identical to the monolithic single-loop baseline."""
+        baseline = ExitCascade.for_model(trained_ddnn, 0.8).run_model(
+            trained_ddnn, tiny_test.images
+        )
+        fabric = DistributedServingFabric(
+            partition_ddnn(trained_ddnn),
+            0.8,
+            workers_per_tier=2,
+            batching=BatchingPolicy(max_batch_size=8, max_wait_s=0.0),
+        )
+        assert len(fabric.tiers) >= 2
+        predictions, exits, entropies = _decisions(fabric.serve_dataset(tiny_test))
+        np.testing.assert_array_equal(predictions, baseline.predictions)
+        np.testing.assert_array_equal(exits, baseline.exit_indices)
+        np.testing.assert_array_equal(entropies, baseline.entropies)
+
+    def test_worker_count_invariance(self, trained_ddnn, tiny_test):
+        """N-worker results equal 1-worker results up to response ordering."""
+        results = {}
+        for workers in (1, 3):
+            fabric = DistributedServingFabric(
+                partition_ddnn(trained_ddnn),
+                0.8,
+                workers_per_tier=workers,
+                batching=BatchingPolicy(max_batch_size=4, max_wait_s=0.0),
+            )
+            results[workers] = _decisions(fabric.serve_dataset(tiny_test))
+        for one, many in zip(results[1], results[3]):
+            np.testing.assert_array_equal(one, many)
+
+    def test_compiled_per_worker_plans_match_eager(self, trained_ddnn, tiny_test):
+        baseline = ExitCascade.for_model(trained_ddnn, 0.8).run_model(
+            trained_ddnn, tiny_test.images
+        )
+        fabric = DistributedServingFabric(
+            partition_ddnn(trained_ddnn),
+            0.8,
+            workers_per_tier=2,
+            compile=True,
+            batching=BatchingPolicy(max_batch_size=8, max_wait_s=0.0),
+        )
+        # Every worker owns a *distinct* plan bundle (buffer-arena safety).
+        for tier in fabric.tiers:
+            bundles = [worker.plans for worker in tier.workers]
+            assert all(bundle is not None for bundle in bundles)
+            assert len({id(bundle) for bundle in bundles}) == len(bundles)
+        predictions, exits, _ = _decisions(fabric.serve_dataset(tiny_test))
+        np.testing.assert_array_equal(predictions, baseline.predictions)
+        np.testing.assert_array_equal(exits, baseline.exit_indices)
+
+    def test_edge_topology_three_tier_fabric(self, tiny_train, tiny_test):
+        config = DDNNConfig(
+            num_devices=4,
+            device_filters=2,
+            cloud_filters=4,
+            edge_filters=3,
+            cloud_hidden_units=8,
+            topology=DDNNTopology.from_name("devices_edge_cloud"),
+            seed=5,
+        )
+        model = build_ddnn(config)
+        DDNNTrainer(model, TrainingConfig(epochs=2, batch_size=32, seed=0)).fit(tiny_train)
+        model.eval()
+        baseline = ExitCascade.for_model(model, [0.7, 0.8]).run_model(
+            model, tiny_test.images
+        )
+        fabric = DistributedServingFabric(
+            partition_ddnn(model),
+            [0.7, 0.8],
+            workers_per_tier=2,
+            batching=BatchingPolicy(max_batch_size=8, max_wait_s=0.0),
+        )
+        assert fabric.tier_names == ["devices", "edge", "cloud"]
+        predictions, exits, _ = _decisions(fabric.serve_dataset(tiny_test))
+        np.testing.assert_array_equal(predictions, baseline.predictions)
+        np.testing.assert_array_equal(exits, baseline.exit_indices)
+
+    def test_single_tier_degenerate_case_is_the_server(self, trained_ddnn, tiny_test):
+        """DDNNServer (one tier running the whole cascade) routes and
+        predicts exactly like the fabric — the degenerate case stays valid."""
+        server = DDNNServer(trained_ddnn, 0.8)
+        server_responses = server.serve_dataset(tiny_test)
+        fabric = DistributedServingFabric(
+            partition_ddnn(trained_ddnn),
+            0.8,
+            batching=BatchingPolicy(max_batch_size=8, max_wait_s=0.0),
+        )
+        fabric_responses = fabric.serve_dataset(tiny_test)
+        np.testing.assert_array_equal(
+            [r.prediction for r in server_responses],
+            [r.prediction for r in fabric_responses],
+        )
+        np.testing.assert_array_equal(
+            [r.exit_index for r in server_responses],
+            [r.exit_index for r in fabric_responses],
+        )
+
+
+class TestLinkDelayAccounting:
+    def test_uplink_latency_appears_in_offloaded_latency_only(self, trained_ddnn, tiny_test):
+        """Raising the uplink propagation latency by delta shifts every
+        offloaded request's latency by exactly delta and no local one's."""
+        delta = 0.25
+        runs = {}
+        for label, extra in (("base", 0.0), ("slow", delta)):
+            uplink = LinkSpec(
+                bandwidth_bytes_per_s=DEFAULT_UPLINK.bandwidth_bytes_per_s,
+                latency_s=DEFAULT_UPLINK.latency_s + extra,
+            )
+            fabric = DistributedServingFabric(
+                partition_ddnn(trained_ddnn, uplink=uplink),
+                0.8,
+                batching=BatchingPolicy(max_batch_size=8, max_wait_s=0.0),
+            )
+            runs[label] = sorted(
+                fabric.serve_dataset(tiny_test), key=lambda r: r.request_id
+            )
+        for base, slow in zip(runs["base"], runs["slow"]):
+            assert base.exit_name == slow.exit_name
+            if base.exit_name == "cloud":
+                assert slow.path_latency_s == pytest.approx(
+                    base.path_latency_s + delta
+                )
+                assert slow.latency_s >= base.latency_s
+            else:
+                assert slow.path_latency_s == pytest.approx(base.path_latency_s)
+
+    def test_transfer_time_scales_with_bandwidth(self, trained_ddnn, tiny_test):
+        runs = {}
+        for label, bandwidth_scale in (("fast", 1.0), ("slow", 0.1)):
+            uplink = LinkSpec(
+                bandwidth_bytes_per_s=DEFAULT_UPLINK.bandwidth_bytes_per_s
+                * bandwidth_scale,
+                latency_s=DEFAULT_UPLINK.latency_s,
+            )
+            fabric = DistributedServingFabric(
+                partition_ddnn(trained_ddnn, uplink=uplink),
+                0.8,
+                batching=BatchingPolicy(max_batch_size=8, max_wait_s=0.0),
+            )
+            responses = fabric.serve_dataset(tiny_test)
+            offloaded = [r for r in responses if r.exit_name == "cloud"]
+            assert offloaded, "need offloaded samples to observe transfer delay"
+            runs[label] = (responses, np.mean([r.path_latency_s for r in offloaded]))
+        assert runs["slow"][1] > runs["fast"][1]
+        # Bandwidth changes time, never bytes or decisions.
+        for fast, slow in zip(*(sorted(r[0], key=lambda x: x.request_id) for r in runs.values())):
+            assert fast.prediction == slow.prediction
+            assert fast.bytes_transferred == pytest.approx(slow.bytes_transferred)
+
+    def test_client_ingress_link_delays_every_request(self, trained_ddnn, tiny_test):
+        ingress = LinkSpec(bandwidth_bytes_per_s=1_000.0, latency_s=0.5)
+        fabric = DistributedServingFabric(
+            partition_ddnn(trained_ddnn),
+            0.8,
+            batching=BatchingPolicy(max_batch_size=8, max_wait_s=0.0),
+            client_link=ingress,
+            request_bytes=500.0,
+        )
+        responses = fabric.serve_dataset(tiny_test)
+        expected = 0.5 + 500.0 / 1_000.0
+        for response in responses:
+            assert response.path_latency_s >= expected
+            assert response.latency_s >= expected
+        assert fabric.ingress.stats.messages == len(tiny_test)
+        assert fabric.ingress.stats.bytes_transferred == pytest.approx(
+            500.0 * len(tiny_test)
+        )
+
+
+class TestOpenLoopAndAdaptive:
+    def test_open_loop_report(self, trained_ddnn, tiny_test):
+        fabric = DistributedServingFabric(
+            partition_ddnn(trained_ddnn),
+            0.8,
+            batching=BatchingPolicy(max_batch_size=8, max_wait_s=0.005),
+        )
+        report = fabric.open_loop(
+            PoissonProcess(100.0, seed=1),
+            tiny_test.images,
+            targets=tiny_test.labels,
+            num_requests=60,
+        )
+        assert report.served == 60
+        assert sum(report.exit_fractions.values()) == pytest.approx(1.0)
+        assert report.offload_fraction == pytest.approx(
+            1.0 - report.exit_fractions.get("local", 0.0)
+        )
+        assert 0.0 <= report.p50_latency_s <= report.p95_latency_s <= report.max_latency_s
+        assert report.accuracy is not None and 0.0 <= report.accuracy <= 1.0
+
+    def test_adaptive_threshold_sheds_under_pressure(self, trained_ddnn, tiny_test):
+        from repro.serving import ServiceModel
+
+        device_service = ServiceModel(0.02, 0.02)
+
+        def build(adaptive):
+            return DistributedServingFabric(
+                partition_ddnn(trained_ddnn),
+                0.8,
+                batching=BatchingPolicy(max_batch_size=4, max_wait_s=0.002),
+                # Slow device tier so the arrival process overloads it.
+                service_models=[device_service, None],
+                adaptive=adaptive,
+            )
+
+        # 1.5x the single device-tier worker's capacity: sustained overload.
+        process = PoissonProcess(1.5 * device_service.capacity_rps(4), seed=3)
+        plain = build(None).open_loop(
+            process, tiny_test.images, targets=tiny_test.labels, num_requests=80
+        )
+        adaptive = build(AdaptiveThreshold(depth_trigger=8)).open_loop(
+            process, tiny_test.images, targets=tiny_test.labels, num_requests=80
+        )
+        assert adaptive.relaxed_fraction > 0.0
+        assert adaptive.offload_fraction < plain.offload_fraction
+        assert adaptive.p95_latency_s < plain.p95_latency_s
+
+    def test_adaptive_without_pressure_changes_nothing(self, trained_ddnn, tiny_test):
+        baseline = ExitCascade.for_model(trained_ddnn, 0.8).run_model(
+            trained_ddnn, tiny_test.images
+        )
+        fabric = DistributedServingFabric(
+            partition_ddnn(trained_ddnn),
+            0.8,
+            batching=BatchingPolicy(max_batch_size=8, max_wait_s=0.0),
+            adaptive=AdaptiveThreshold(depth_trigger=10_000),
+        )
+        predictions, exits, _ = _decisions(fabric.serve_dataset(tiny_test))
+        np.testing.assert_array_equal(predictions, baseline.predictions)
+        np.testing.assert_array_equal(exits, baseline.exit_indices)
+
+    def test_adaptive_threshold_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveThreshold(depth_trigger=0)
+        with pytest.raises(ValueError):
+            AdaptiveThreshold(depth_trigger=4, relaxed_threshold=1.5)
+
+
+class TestFabricValidation:
+    def test_rejects_mismatched_per_tier_lists(self, trained_ddnn):
+        with pytest.raises(ValueError):
+            DistributedServingFabric(
+                partition_ddnn(trained_ddnn), 0.8, workers_per_tier=[1, 2, 3]
+            )
+        with pytest.raises(ValueError):
+            DistributedServingFabric(
+                partition_ddnn(trained_ddnn), 0.8, service_models=[None]
+            )
+
+    def test_rejects_bad_views_shape(self, trained_ddnn, tiny_test):
+        fabric = DistributedServingFabric(partition_ddnn(trained_ddnn), 0.8)
+        with pytest.raises(ValueError):
+            fabric.submit(tiny_test.images)  # 5-D, not a single sample
+        with pytest.raises(ValueError):
+            fabric.open_loop(
+                PoissonProcess(10.0), tiny_test.images[0], num_requests=2
+            )  # 4-D, not a stream
+
+    def test_mean_bytes_matches_hierarchy_accounting(self, trained_ddnn, tiny_test):
+        """The fabric's per-request byte accounting equals the offline
+        hierarchy runtime's Eq. 1 accounting (same sections, same messages)."""
+        from repro.hierarchy import HierarchyRuntime
+
+        offline = HierarchyRuntime(partition_ddnn(trained_ddnn), 0.8).run(tiny_test)
+        fabric = DistributedServingFabric(
+            partition_ddnn(trained_ddnn),
+            0.8,
+            batching=BatchingPolicy(max_batch_size=8, max_wait_s=0.0),
+        )
+        responses = fabric.serve_dataset(tiny_test)
+        np.testing.assert_allclose(
+            [r.bytes_transferred for r in responses], offline.bytes_per_sample
+        )
