@@ -23,6 +23,7 @@ for the numerical-equivalence guarantee against the eager path.  The
 package.
 """
 
+from .cache import compiled_plan_for, invalidate_plan
 from .ddnn import (
     CompiledBranch,
     CompiledDDNN,
@@ -48,5 +49,7 @@ __all__ = [
     "CompiledDDNNOutput",
     "compile_aggregator",
     "compile_ddnn",
+    "compiled_plan_for",
+    "invalidate_plan",
     "verify_compiled",
 ]

@@ -1,0 +1,70 @@
+"""Module-level memoization of compiled inference plans.
+
+Before this cache existed every :class:`~repro.core.cascade.ExitCascade`
+(and therefore every fresh :class:`~repro.core.inference.StagedInferenceEngine`,
+grid helper or short-lived server) carried its own ``_compiled_plans`` dict
+and recompiled :func:`~repro.compile.ddnn.compile_ddnn` for a model the
+process had already compiled.  The cache here is shared by all of them:
+
+* keyed by ``id(model)`` with the identity double-checked against a weak
+  reference, so a recycled ``id()`` can never serve another model's plan;
+* entries hold the model only *weakly* — dropping the last strong reference
+  to a model evicts its plan instead of leaking it;
+* :func:`invalidate_plan` is the explicit hook to call after (re)training a
+  model in place, since plans snapshot weights at compile time.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Dict, Optional, Tuple
+
+__all__ = ["compiled_plan_for", "invalidate_plan", "cached_plan_count"]
+
+#: id(model) -> (weakref to the model, its CompiledDDNN plan).
+_PLAN_CACHE: Dict[int, Tuple["weakref.ref", object]] = {}
+
+
+def compiled_plan_for(model):
+    """The process-wide compiled plan for a model, compiling on first use.
+
+    The plan snapshots the model's weights; call :func:`invalidate_plan`
+    after the model is (re)trained to force a rebuild.
+    """
+    key = id(model)
+    entry = _PLAN_CACHE.get(key)
+    if entry is not None and entry[0]() is model:
+        return entry[1]
+
+    from .ddnn import compile_ddnn
+
+    plan = compile_ddnn(model)
+
+    def _evict(ref, key=key):
+        # Only drop the entry if it still belongs to the dead model — the id
+        # may have been recycled and the slot overwritten by a newer model.
+        current = _PLAN_CACHE.get(key)
+        if current is not None and current[0] is ref:
+            del _PLAN_CACHE[key]
+
+    _PLAN_CACHE[key] = (weakref.ref(model, _evict), plan)
+    return plan
+
+
+def invalidate_plan(model: Optional[object] = None) -> None:
+    """Drop the cached plan for one model, or every cached plan.
+
+    Required after in-place retraining: compiled plans bake the weights in
+    and would otherwise keep serving the stale snapshot.
+    """
+    if model is None:
+        _PLAN_CACHE.clear()
+        return
+    entry = _PLAN_CACHE.get(id(model))
+    if entry is not None and entry[0]() is model:
+        del _PLAN_CACHE[id(model)]
+
+
+def cached_plan_count() -> int:
+    """Number of live cached plans (for tests and diagnostics)."""
+    return len(_PLAN_CACHE)

@@ -10,6 +10,8 @@ Public surface:
 * :class:`DDNNTrainer` — joint multi-exit training;
 * :class:`ExitCascade` — the shared staged exit-cascade engine;
 * :class:`StagedInferenceEngine` — threshold-based distributed inference;
+* :class:`ExitOracle` — forward-once logit cache: vectorized threshold
+  sweeps, exit-rate quantile calibration and accuracy reports;
 * :class:`CommunicationModel` — the paper's Eq. 1 byte accounting;
 * threshold search and accuracy reporting helpers.
 """
@@ -40,6 +42,7 @@ from .config import DDNNConfig, DDNNTopology, TrainingConfig
 from .ddnn import DDNN, CloudModel, DDNNOutput, DeviceBranch, EdgeModel, build_ddnn
 from .exits import ExitCriterion, ExitDecision, normalized_entropy, softmax_probabilities
 from .inference import InferenceResult, StagedInferenceEngine, staged_inference
+from .oracle import ExitOracle, SweepPoint, SweepTable
 from .threshold import (
     ThresholdCandidate,
     ThresholdSearchResult,
@@ -81,6 +84,9 @@ __all__ = [
     "StagedInferenceEngine",
     "InferenceResult",
     "staged_inference",
+    "ExitOracle",
+    "SweepPoint",
+    "SweepTable",
     "CommunicationModel",
     "ddnn_communication_bytes",
     "raw_offload_bytes",

@@ -8,19 +8,22 @@
 * **Individual accuracy** — accuracy of a per-device model trained in
   isolation (see :mod:`repro.baselines.individual`); included here only as a
   result container so every measure lives in one report type.
+
+Every function here is a thin veneer over the forward-once
+:class:`~repro.core.oracle.ExitOracle`: the model is forwarded exactly once
+per (model, dataset) call, and all measures are vectorized numpy over the
+cached per-exit logits.  Pass ``oracle=`` to reuse an existing capture and
+skip the forward entirely.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
-
-import numpy as np
+from typing import Dict, Optional, Sequence, Union
 
 from ..datasets.mvmc import MVMCDataset
-from ..nn.tensor import no_grad
 from .ddnn import DDNN
-from .inference import StagedInferenceEngine
+from .oracle import ExitOracle
 
 __all__ = ["AccuracyReport", "evaluate_exit_accuracies", "evaluate_overall", "full_accuracy_report"]
 
@@ -64,21 +67,15 @@ class AccuracyReport:
 
 
 def evaluate_exit_accuracies(
-    model: DDNN, dataset: MVMCDataset, batch_size: int = 64
+    model: DDNN,
+    dataset: MVMCDataset,
+    batch_size: int = 64,
+    compile: bool = False,
+    oracle: Optional[ExitOracle] = None,
 ) -> Dict[str, float]:
     """Accuracy of each exit when classifying 100% of the dataset there."""
-    model.eval()
-    correct = {name: 0 for name in model.exit_names}
-    total = 0
-    with no_grad():
-        for start in range(0, len(dataset), batch_size):
-            views = dataset.images[start : start + batch_size]
-            targets = dataset.labels[start : start + batch_size]
-            output = model(views)
-            total += len(targets)
-            for name, logits in zip(output.exit_names, output.exit_logits):
-                correct[name] += int(np.sum(logits.data.argmax(axis=1) == targets))
-    return {name: correct[name] / total for name in model.exit_names}
+    resolved = ExitOracle.resolve(model, dataset, batch_size, compile, oracle)
+    return resolved.exit_accuracies()
 
 
 def evaluate_overall(
@@ -86,20 +83,12 @@ def evaluate_overall(
     dataset: MVMCDataset,
     thresholds: Union[float, Sequence[float]],
     batch_size: int = 64,
+    compile: bool = False,
+    oracle: Optional[ExitOracle] = None,
 ) -> AccuracyReport:
     """Overall accuracy under staged inference plus the implied comm. cost."""
-    engine = StagedInferenceEngine(model, thresholds, batch_size=batch_size)
-    result = engine.run(dataset)
-    report = AccuracyReport(
-        exit_accuracy={
-            name: float(np.mean(result.exit_predictions[name] == dataset.labels))
-            for name in model.exit_names
-        },
-        overall_accuracy=result.overall_accuracy(dataset.labels),
-        local_exit_fraction=result.local_exit_fraction,
-        communication_bytes=engine.communication_bytes(result),
-    )
-    return report
+    resolved = ExitOracle.resolve(model, dataset, batch_size, compile, oracle)
+    return resolved.accuracy_report(thresholds, targets=dataset.labels)
 
 
 def full_accuracy_report(
@@ -108,9 +97,11 @@ def full_accuracy_report(
     thresholds: Union[float, Sequence[float]],
     individual_accuracy: Optional[Dict[int, float]] = None,
     batch_size: int = 64,
+    compile: bool = False,
+    oracle: Optional[ExitOracle] = None,
 ) -> AccuracyReport:
-    """Every paper accuracy measure in one report."""
-    report = evaluate_overall(model, dataset, thresholds, batch_size=batch_size)
-    if individual_accuracy is not None:
-        report.individual_accuracy = dict(individual_accuracy)
-    return report
+    """Every paper accuracy measure in one report (one forward pass total)."""
+    resolved = ExitOracle.resolve(model, dataset, batch_size, compile, oracle)
+    return resolved.accuracy_report(
+        thresholds, targets=dataset.labels, individual_accuracy=individual_accuracy
+    )

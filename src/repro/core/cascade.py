@@ -22,6 +22,7 @@ single source of truth both layers (and the online
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
@@ -216,7 +217,9 @@ class ExitCascade:
         self.criteria = build_exit_criteria(thresholds, self.exit_names)
         self.communication = communication
         self.compile_enabled = bool(compile)
-        self._compiled_plans: Dict[int, object] = {}
+        # Models this cascade has served compiled plans for, so a no-arg
+        # invalidate_compiled() evicts exactly those from the shared cache.
+        self._compiled_models: "weakref.WeakSet" = weakref.WeakSet()
 
     @classmethod
     def for_model(cls, model, thresholds: Thresholds, compile: bool = False) -> "ExitCascade":
@@ -240,25 +243,37 @@ class ExitCascade:
 
     # ------------------------------------------------------------------ #
     def compiled_for(self, model):
-        """The (cached) compiled inference plan for a model.
+        """The compiled inference plan for a model, from the shared cache.
 
-        The plan snapshots the model's weights; call
-        :meth:`invalidate_compiled` after (re)training to force a rebuild.
-        The cache holds a strong reference to the model so a recycled
-        ``id()`` can never serve another model's plan.
+        Plans are memoized process-wide in :mod:`repro.compile.cache`, so
+        every cascade, engine and grid helper built over the same model
+        reuses one plan instead of recompiling.  The plan snapshots the
+        model's weights; call :meth:`invalidate_compiled` after (re)training
+        to force a rebuild.
         """
-        entry = self._compiled_plans.get(id(model))
-        if entry is not None and entry[0] is model:
-            return entry[1]
-        from ..compile import compile_ddnn
+        from ..compile.cache import compiled_plan_for
 
-        plan = compile_ddnn(model)
-        self._compiled_plans[id(model)] = (model, plan)
-        return plan
+        self._compiled_models.add(model)
+        return compiled_plan_for(model)
 
-    def invalidate_compiled(self) -> None:
-        """Drop cached compiled plans (e.g. after the model was retrained)."""
-        self._compiled_plans.clear()
+    def invalidate_compiled(self, model=None) -> None:
+        """Drop the cached plan(s) this cascade served (after retraining).
+
+        With ``model`` the eviction targets that model; without, every model
+        this cascade has served a plan for.  Eviction happens in the shared
+        process-wide cache, so *all* consumers of an invalidated model get a
+        fresh plan — the plan really is stale for everyone once the model
+        retrained — but plans of unrelated models are untouched.
+        """
+        from ..compile.cache import invalidate_plan
+
+        if model is not None:
+            invalidate_plan(model)
+            self._compiled_models.discard(model)
+            return
+        for served in list(self._compiled_models):
+            invalidate_plan(served)
+        self._compiled_models.clear()
 
     def run_model(
         self,

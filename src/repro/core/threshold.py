@@ -6,20 +6,35 @@ several thresholds tie, the one that exits the most samples locally (i.e. the
 cheapest in communication) is preferred.  A variant used in Section IV-F
 instead chooses the threshold whose local-exit rate is closest to a target
 fraction (about 75% in the paper's Figure 9 experiment).
+
+Both searches run on the forward-once :class:`~repro.core.oracle.ExitOracle`:
+the validation set is forwarded exactly once (compiled if requested) and the
+whole candidate grid is answered by vectorized routing over the cached
+per-exit entropies — a 21-point calibration that used to cost 21 full eager
+forwards now costs one forward plus ``O(num_exits x N)`` numpy per point.
+The local-exit rate itself never needs routing at all: it is the empirical
+CDF of the local-exit entropies, so exit-rate calibration is a quantile
+lookup (:meth:`~repro.core.oracle.ExitOracle.quantile_threshold` exposes the
+exact, grid-free variant).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Union
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from ..datasets.mvmc import MVMCDataset
 from .ddnn import DDNN
-from .inference import StagedInferenceEngine
+from .oracle import ExitOracle
 
-__all__ = ["ThresholdCandidate", "ThresholdSearchResult", "search_threshold", "threshold_for_exit_rate"]
+__all__ = [
+    "ThresholdCandidate",
+    "ThresholdSearchResult",
+    "search_threshold",
+    "threshold_for_exit_rate",
+]
 
 DEFAULT_GRID = tuple(np.round(np.arange(0.0, 1.0001, 0.05), 4))
 
@@ -51,20 +66,20 @@ def _evaluate_candidates(
     dataset: MVMCDataset,
     grid: Sequence[float],
     batch_size: int = 64,
+    compile: bool = False,
+    oracle: Optional[ExitOracle] = None,
 ) -> List[ThresholdCandidate]:
-    candidates = []
-    for threshold in grid:
-        engine = StagedInferenceEngine(model, float(threshold), batch_size=batch_size)
-        result = engine.run(dataset)
-        candidates.append(
-            ThresholdCandidate(
-                threshold=float(threshold),
-                overall_accuracy=result.overall_accuracy(dataset.labels),
-                local_exit_fraction=result.local_exit_fraction,
-                communication_bytes=engine.communication_bytes(result),
-            )
+    oracle = ExitOracle.resolve(model, dataset, batch_size, compile, oracle)
+    table = oracle.sweep(grid)
+    return [
+        ThresholdCandidate(
+            threshold=point.threshold,
+            overall_accuracy=point.overall_accuracy,
+            local_exit_fraction=point.local_exit_fraction,
+            communication_bytes=point.communication_bytes,
         )
-    return candidates
+        for point in table.points()
+    ]
 
 
 def search_threshold(
@@ -72,14 +87,20 @@ def search_threshold(
     validation_set: MVMCDataset,
     grid: Optional[Sequence[float]] = None,
     batch_size: int = 64,
+    compile: bool = False,
+    oracle: Optional[ExitOracle] = None,
 ) -> ThresholdSearchResult:
     """Pick the threshold with the best overall accuracy on a validation set.
 
     Ties are resolved in favour of the largest local-exit fraction, which
-    minimises communication at equal accuracy.
+    minimises communication at equal accuracy.  The grid is evaluated by one
+    vectorized oracle sweep (one forward pass total; none if ``oracle`` is
+    supplied).
     """
     grid = DEFAULT_GRID if grid is None else grid
-    candidates = _evaluate_candidates(model, validation_set, grid, batch_size=batch_size)
+    candidates = _evaluate_candidates(
+        model, validation_set, grid, batch_size=batch_size, compile=compile, oracle=oracle
+    )
     best = max(candidates, key=lambda c: (c.overall_accuracy, c.local_exit_fraction))
     return ThresholdSearchResult(best=best, candidates=candidates)
 
@@ -90,12 +111,32 @@ def threshold_for_exit_rate(
     target_fraction: float,
     grid: Optional[Sequence[float]] = None,
     batch_size: int = 64,
+    compile: bool = False,
+    oracle: Optional[ExitOracle] = None,
+    exact: bool = False,
 ) -> ThresholdSearchResult:
-    """Pick the threshold whose local-exit rate is closest to ``target_fraction``."""
+    """Pick the threshold whose local-exit rate is closest to ``target_fraction``.
+
+    The local-exit rate at any threshold is an exact quantile lookup on the
+    validation set's local-entropy CDF, so the whole calibration needs one
+    forward pass (zero if ``oracle`` is supplied).  With ``exact=True`` the
+    grid is bypassed entirely and the returned threshold is the entropy
+    value whose achievable exit rate is nearest the target
+    (:meth:`~repro.core.oracle.ExitOracle.quantile_threshold`); otherwise the
+    best grid point is selected with the same tie-breaking as the historical
+    grid search (closest rate, then highest overall accuracy, then grid
+    order).
+    """
     if not 0.0 <= target_fraction <= 1.0:
         raise ValueError("target_fraction must be in [0, 1]")
+    oracle = ExitOracle.resolve(model, validation_set, batch_size, compile, oracle)
+    if exact:
+        threshold = oracle.quantile_threshold(target_fraction)
+        candidates = _evaluate_candidates(model, validation_set, [threshold], oracle=oracle)
+        return ThresholdSearchResult(best=candidates[0], candidates=candidates)
+
     grid = DEFAULT_GRID if grid is None else grid
-    candidates = _evaluate_candidates(model, validation_set, grid, batch_size=batch_size)
+    candidates = _evaluate_candidates(model, validation_set, grid, oracle=oracle)
     best = min(
         candidates,
         key=lambda c: (abs(c.local_exit_fraction - target_fraction), -c.overall_accuracy),

@@ -18,7 +18,6 @@ from ..datasets.mvmc import MVMCDataset
 from ..nn.losses import joint_exit_loss
 from ..nn.metrics import accuracy
 from ..nn.optim import Adam
-from ..nn.tensor import no_grad
 from .config import TrainingConfig
 from .ddnn import DDNN
 
@@ -122,24 +121,36 @@ class DDNNTrainer:
         exit_accuracy = {
             name: exit_correct[name] / total_samples for name in self.model.exit_names
         }
+        # The epoch mutated the weights in place: any compiled plan cached
+        # for this model now serves a stale snapshot — evict it, and bump
+        # the weights version so snapshot caches keyed on the model (e.g.
+        # the experiment harness's oracle memo) can tell old from new.
+        from ..compile.cache import invalidate_plan
+
+        invalidate_plan(self.model)
+        self.model._weights_version = getattr(self.model, "_weights_version", 0) + 1
         return EpochStats(epoch=epoch, loss=total_loss / total_samples, exit_accuracy=exit_accuracy)
 
     # ------------------------------------------------------------------ #
-    def evaluate_exits(self, dataset: MVMCDataset, batch_size: Optional[int] = None) -> Dict[str, float]:
-        """Accuracy of every exit when 100% of samples exit at that point."""
-        self.model.eval()
-        batch_size = batch_size or self.config.batch_size
-        correct: Dict[str, int] = {name: 0 for name in self.model.exit_names}
-        total = 0
-        with no_grad():
-            for start in range(0, len(dataset), batch_size):
-                views = dataset.images[start : start + batch_size]
-                targets = dataset.labels[start : start + batch_size]
-                output = self.model(views)
-                total += len(targets)
-                for name, logits in zip(output.exit_names, output.exit_logits):
-                    correct[name] += int(np.sum(logits.data.argmax(axis=1) == targets))
-        return {name: correct[name] / total for name in self.model.exit_names}
+    def evaluate_exits(
+        self,
+        dataset: MVMCDataset,
+        batch_size: Optional[int] = None,
+        compile: bool = False,
+    ) -> Dict[str, float]:
+        """Accuracy of every exit when 100% of samples exit at that point.
+
+        Delegates to :func:`repro.core.accuracy.evaluate_exit_accuracies`
+        (one oracle forward pass) — this used to be a duplicated eager loop.
+        """
+        from .accuracy import evaluate_exit_accuracies
+
+        return evaluate_exit_accuracies(
+            self.model,
+            dataset,
+            batch_size=batch_size or self.config.batch_size,
+            compile=compile,
+        )
 
 
 def train_ddnn(

@@ -32,6 +32,7 @@ from .overload_study import (
 from .results import ExperimentResult, format_table
 from .runner import (
     ExperimentScale,
+    capture_oracle,
     ci_scale,
     clear_cache,
     default_scale,
@@ -42,6 +43,7 @@ from .runner import (
 )
 from .scaling_devices import compute_individual_accuracies, run_scaling_devices
 from .serving_benchmark import DEFAULT_BATCH_SIZES, run_serving_throughput
+from .sweep_fastpath import DEFAULT_SWEEP_GRIDS, REFERENCE_GRID, run_sweep_fastpath
 from .threshold_sweep import PAPER_TABLE2_THRESHOLDS, run_threshold_sweep
 from .weight_ablation import run_weight_ablation
 
@@ -61,6 +63,7 @@ EXPERIMENT_REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
     "overload_tail_latency": run_overload_study,
     "compiled_forward": run_compiled_forward,
     "distributed_serving": run_distributed_serving,
+    "threshold_sweep_fastpath": run_sweep_fastpath,
 }
 
 __all__ = [
@@ -73,6 +76,7 @@ __all__ = [
     "get_dataset",
     "get_trained_ddnn",
     "train_fresh_ddnn",
+    "capture_oracle",
     "clear_cache",
     "run_dataset_stats",
     "run_aggregation_table",
@@ -101,5 +105,8 @@ __all__ = [
     "DEFAULT_WORKER_COUNTS",
     "DEFAULT_BANDWIDTH_SCALES",
     "DEFAULT_THRESHOLD_SWEEP",
+    "run_sweep_fastpath",
+    "DEFAULT_SWEEP_GRIDS",
+    "REFERENCE_GRID",
     "EXPERIMENT_REGISTRY",
 ]

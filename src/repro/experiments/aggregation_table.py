@@ -11,9 +11,8 @@ from __future__ import annotations
 from itertools import product
 from typing import Optional, Sequence, Tuple
 
-from ..core.accuracy import evaluate_exit_accuracies
 from .results import ExperimentResult
-from .runner import ExperimentScale, default_scale, get_dataset, get_trained_ddnn
+from .runner import ExperimentScale, capture_oracle, default_scale, get_dataset, get_trained_ddnn
 
 __all__ = ["run_aggregation_table", "PAPER_TABLE1_ORDER"]
 
@@ -52,7 +51,7 @@ def run_aggregation_table(
             local_aggregation=local_scheme, cloud_aggregation=cloud_scheme
         )
         model, _ = get_trained_ddnn(scale, config=config)
-        accuracies = evaluate_exit_accuracies(model, test_set)
+        accuracies = capture_oracle(model, test_set).exit_accuracies()
         result.add_row(
             scheme=scheme,
             local_accuracy_pct=100.0 * accuracies["local"],

@@ -9,6 +9,7 @@ Usage::
     python -m repro.experiments load-bench --policy reject --offered-x 2.0
     python -m repro.experiments infer-bench --batch-size 1 --batch-size 64
     python -m repro.experiments dist-bench --workers 1 --workers 4 --offered-x 2.0
+    python -m repro.experiments sweep-bench --timing-rounds 3
 
 Each experiment prints its table (the same rows the paper reports) and can
 optionally write it to a text file.
@@ -282,6 +283,37 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory to write the table as compiled_forward.txt",
     )
+
+    sweep_parser = subparsers.add_parser(
+        "sweep-bench",
+        help="benchmark forward-once oracle threshold sweeps vs the per-threshold eager loop",
+    )
+    sweep_parser.add_argument(
+        "--scale",
+        choices=("ci", "paper"),
+        default="ci",
+        help="experiment scale for the model and swept dataset",
+    )
+    sweep_parser.add_argument(
+        "--threshold",
+        type=float,
+        action="append",
+        dest="thresholds",
+        default=None,
+        help="custom grid threshold (repeatable; default: Table II grid + 21-point calibration grid)",
+    )
+    sweep_parser.add_argument(
+        "--timing-rounds",
+        type=int,
+        default=3,
+        help="timed rounds per path (fastest kept)",
+    )
+    sweep_parser.add_argument(
+        "--output-dir",
+        type=Path,
+        default=None,
+        help="directory to write the table as threshold_sweep_fastpath.txt",
+    )
     return parser
 
 
@@ -404,6 +436,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"{result.metadata['reference_speedup']:.2f}x, "
             f"max |logit diff| {result.metadata['max_abs_logit_diff']:.2e}"
         )
+        if args.output_dir is not None:
+            args.output_dir.mkdir(parents=True, exist_ok=True)
+            (args.output_dir / f"{result.name}.txt").write_text(text + "\n")
+        return 0
+
+    if args.command == "sweep-bench":
+        from .sweep_fastpath import DEFAULT_SWEEP_GRIDS, run_sweep_fastpath
+
+        scale = paper_scale() if args.scale == "paper" else ci_scale()
+        grids = (
+            (("custom", tuple(args.thresholds)),) if args.thresholds else DEFAULT_SWEEP_GRIDS
+        )
+        result = run_sweep_fastpath(scale, grids=grids, timing_rounds=args.timing_rounds)
+        text = result.to_text()
+        print(text)
+        if "reference_speedup" in result.metadata:
+            print(
+                f"reference speedup ({result.metadata.get('scale')} scale, Table II grid): "
+                f"{result.metadata['reference_speedup']:.1f}x"
+            )
         if args.output_dir is not None:
             args.output_dir.mkdir(parents=True, exist_ok=True)
             (args.output_dir / f"{result.name}.txt").write_text(text + "\n")

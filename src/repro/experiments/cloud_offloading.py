@@ -11,11 +11,9 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from ..core.accuracy import evaluate_exit_accuracies
-from ..core.inference import StagedInferenceEngine
 from ..core.threshold import threshold_for_exit_rate
 from .results import ExperimentResult
-from .runner import ExperimentScale, default_scale, get_dataset, get_trained_ddnn
+from .runner import ExperimentScale, capture_oracle, default_scale, get_dataset, get_trained_ddnn
 
 __all__ = ["run_cloud_offloading", "DEFAULT_FILTER_SWEEP"]
 
@@ -53,18 +51,23 @@ def run_cloud_offloading(
         config = scale.ddnn_config(device_filters=filters)
         model, _ = get_trained_ddnn(scale, config=config)
         # Pick the threshold whose local exit rate is closest to the target,
-        # searching on the training split (acting as validation).
-        search = threshold_for_exit_rate(model, train_set, target_local_exit)
+        # calibrating on the training split (acting as validation).  The
+        # oracle makes the whole 21-point calibration one forward pass.
+        search = threshold_for_exit_rate(
+            model, train_set, target_local_exit, oracle=capture_oracle(model, train_set)
+        )
         threshold = search.best_threshold
 
-        exit_accuracy = evaluate_exit_accuracies(model, test_set)
-        engine = StagedInferenceEngine(model, threshold)
-        staged = engine.run(test_set)
+        # One test-set forward answers the exit accuracies, the staged
+        # routing and the communication cost (previously two forwards).
+        oracle = capture_oracle(model, test_set)
+        exit_accuracy = oracle.exit_accuracies()
+        staged = oracle.route(threshold)
         result.add_row(
             device_filters=filters,
             threshold=threshold,
             local_exit_pct=100.0 * staged.local_exit_fraction,
-            communication_bytes=engine.communication_bytes(staged),
+            communication_bytes=oracle.communication_bytes(staged),
             local_accuracy_pct=100.0 * exit_accuracy["local"],
             cloud_accuracy_pct=100.0 * exit_accuracy["cloud"],
             overall_accuracy_pct=100.0 * staged.overall_accuracy(test_set.labels),

@@ -13,10 +13,9 @@ from __future__ import annotations
 from typing import Optional
 
 from ..baselines.cloud_only import CloudOnlyBaseline
-from ..core.communication import CommunicationModel, raw_offload_bytes
-from ..core.inference import StagedInferenceEngine
+from ..core.communication import raw_offload_bytes
 from .results import ExperimentResult
-from .runner import ExperimentScale, default_scale, get_dataset, get_trained_ddnn
+from .runner import ExperimentScale, capture_oracle, default_scale, get_dataset, get_trained_ddnn
 
 __all__ = ["run_communication_reduction"]
 
@@ -31,9 +30,9 @@ def run_communication_reduction(
     train_set, test_set = get_dataset(scale)
     model, _ = get_trained_ddnn(scale)
 
-    engine = StagedInferenceEngine(model, threshold)
-    staged = engine.run(test_set)
-    ddnn_bytes = engine.communication_bytes(staged)
+    oracle = capture_oracle(model, test_set)
+    staged = oracle.route(threshold)
+    ddnn_bytes = oracle.communication_bytes(staged)
     raw_bytes = raw_offload_bytes(model.config.input_channels, model.config.input_size)
 
     result = ExperimentResult(

@@ -12,11 +12,9 @@ from __future__ import annotations
 
 from typing import Optional, Sequence, Tuple
 
-from ..core.accuracy import evaluate_exit_accuracies
 from ..core.config import DDNNTopology
-from ..core.inference import StagedInferenceEngine
 from .results import ExperimentResult
-from .runner import ExperimentScale, default_scale, get_dataset, get_trained_ddnn
+from .runner import ExperimentScale, capture_oracle, default_scale, get_dataset, get_trained_ddnn
 
 __all__ = ["run_edge_hierarchy", "DEFAULT_TOPOLOGIES"]
 
@@ -57,9 +55,10 @@ def run_edge_hierarchy(
             topology=DDNNTopology.from_name(topology_name, num_edges=max(num_edges, 1))
         )
         model, _ = get_trained_ddnn(scale, config=config)
-        accuracies = evaluate_exit_accuracies(model, test_set)
+        oracle = capture_oracle(model, test_set)
+        accuracies = oracle.exit_accuracies()
         exit_thresholds = list(thresholds[: model.num_exits - 1])
-        staged = StagedInferenceEngine(model, exit_thresholds).run(test_set)
+        staged = oracle.route(exit_thresholds)
         result.add_row(
             configuration=label,
             local_accuracy_pct=100.0 * accuracies.get("local", float("nan")),

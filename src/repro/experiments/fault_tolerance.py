@@ -12,10 +12,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from ..core.accuracy import evaluate_exit_accuracies
-from ..core.inference import StagedInferenceEngine
 from .results import ExperimentResult
-from .runner import ExperimentScale, default_scale, get_dataset, get_trained_ddnn
+from .runner import ExperimentScale, capture_oracle, default_scale, get_dataset, get_trained_ddnn
 from .scaling_devices import compute_individual_accuracies
 
 __all__ = ["run_fault_tolerance", "run_multi_device_failures"]
@@ -49,9 +47,11 @@ def run_fault_tolerance(
 
     for device_index in range(test_set.num_devices):
         degraded = test_set.with_failed_devices([device_index])
-        exit_accuracy = evaluate_exit_accuracies(model, degraded)
-        engine = StagedInferenceEngine(model, threshold)
-        staged = engine.run(degraded)
+        # One forward of the degraded set answers both the per-exit and the
+        # staged measures (previously two forwards per failed device).
+        oracle = capture_oracle(model, degraded)
+        exit_accuracy = oracle.exit_accuracies()
+        staged = oracle.route(threshold)
         result.add_row(
             failed_device=device_index + 1,
             individual_accuracy_pct=100.0 * individual.get(device_index, float("nan")),
@@ -92,8 +92,9 @@ def run_multi_device_failures(
     for count in range(0, max_failures + 1):
         failed = order[:count]
         degraded = test_set.with_failed_devices(failed) if failed else test_set
-        exit_accuracy = evaluate_exit_accuracies(model, degraded)
-        staged = StagedInferenceEngine(model, threshold).run(degraded)
+        oracle = capture_oracle(model, degraded)
+        exit_accuracy = oracle.exit_accuracies()
+        staged = oracle.route(threshold)
         result.add_row(
             num_failed=count,
             failed_devices=",".join(str(d + 1) for d in failed) if failed else "-",

@@ -12,10 +12,8 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..core.accuracy import evaluate_exit_accuracies
-from ..core.inference import StagedInferenceEngine
 from .results import ExperimentResult
-from .runner import ExperimentScale, default_scale, get_dataset, get_trained_ddnn
+from .runner import ExperimentScale, capture_oracle, default_scale, get_dataset, get_trained_ddnn
 
 __all__ = ["run_mixed_precision"]
 
@@ -42,8 +40,9 @@ def run_mixed_precision(
     for label, binary_cloud in (("binary", True), ("float", False)):
         config = scale.ddnn_config(binary_cloud=binary_cloud)
         model, _ = get_trained_ddnn(scale, config=config)
-        accuracies = evaluate_exit_accuracies(model, test_set)
-        staged = StagedInferenceEngine(model, threshold).run(test_set)
+        oracle = capture_oracle(model, test_set)
+        accuracies = oracle.exit_accuracies()
+        staged = oracle.route(threshold)
         result.add_row(
             cloud_precision=label,
             local_accuracy_pct=100.0 * accuracies["local"],

@@ -34,6 +34,7 @@ __all__ = [
     "get_dataset",
     "get_trained_ddnn",
     "train_fresh_ddnn",
+    "capture_oracle",
     "clear_cache",
 ]
 
@@ -131,12 +132,18 @@ def default_scale() -> ExperimentScale:
 # --------------------------------------------------------------------------- #
 _DATASET_CACHE: Dict[Tuple, Tuple[MVMCDataset, MVMCDataset]] = {}
 _MODEL_CACHE: Dict[Tuple, Tuple[DDNN, DDNNTrainer]] = {}
+#: (id(model), id(dataset), eager flag, batch size) -> (model, dataset,
+#: oracle), for datasets owned by _DATASET_CACHE only.  The model/dataset
+#: references double-check identity against recycled ids and keep the key
+#: owners alive, mirroring _MODEL_CACHE's lifetime.
+_ORACLE_CACHE: Dict[Tuple, Tuple] = {}
 
 
 def clear_cache() -> None:
-    """Drop all cached datasets and trained models."""
+    """Drop all cached datasets, trained models and captured oracles."""
     _DATASET_CACHE.clear()
     _MODEL_CACHE.clear()
+    _ORACLE_CACHE.clear()
 
 
 def get_dataset(scale: ExperimentScale) -> Tuple[MVMCDataset, MVMCDataset]:
@@ -220,3 +227,49 @@ def get_trained_ddnn(
     if key not in _MODEL_CACHE:
         _MODEL_CACHE[key] = train_fresh_ddnn(scale, config, training)
     return _MODEL_CACHE[key]
+
+
+def capture_oracle(model: DDNN, dataset: MVMCDataset, batch_size: int = 64):
+    """Forward-once :class:`~repro.core.oracle.ExitOracle` for an experiment.
+
+    The offline harness defaults to the compiled fast path (one
+    :mod:`repro.compile` plan forward per dataset, plans memoized
+    process-wide); set ``REPRO_EAGER_EVAL=1`` to force the eager forward,
+    e.g. when bisecting a compiled-path discrepancy.  Compiled logits agree
+    with eager at float32-level tolerance, and routing has matched
+    byte-for-byte on every model and table in this suite (the experiment
+    benchmarks assert table identity).
+
+    Captures over the splits :func:`get_dataset` owns are memoized per
+    (model, dataset) identity, so experiments sharing the cached default
+    model and test split (``run all``, the benchmark suite in one process)
+    pay the forward once, like :func:`get_trained_ddnn` pays training once.
+    Throwaway datasets (failed-device copies, device subsets) are captured
+    without caching — a fresh object per call could never hit and would pin
+    its logit block forever.  The harness never retrains a cached model in
+    place; :func:`clear_cache` drops captured oracles along with the models
+    they describe.
+    """
+    from ..core.oracle import ExitOracle
+
+    eager = os.environ.get("REPRO_EAGER_EVAL", "").lower() in ("1", "true", "yes")
+    cacheable = any(
+        dataset is split for pair in _DATASET_CACHE.values() for split in pair
+    )
+    # The weights version (bumped by DDNNTrainer.train_epoch) keys retrained
+    # models away from their pre-training captures.
+    key = (
+        id(model),
+        id(dataset),
+        eager,
+        batch_size,
+        getattr(model, "_weights_version", 0),
+    )
+    if cacheable:
+        entry = _ORACLE_CACHE.get(key)
+        if entry is not None and entry[0] is model and entry[1] is dataset:
+            return entry[2]
+    oracle = ExitOracle.capture(model, dataset, batch_size=batch_size, compile=not eager)
+    if cacheable:
+        _ORACLE_CACHE[key] = (model, dataset, oracle)
+    return oracle

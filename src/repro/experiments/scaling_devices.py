@@ -12,13 +12,9 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-import numpy as np
-
 from ..baselines.individual import individual_accuracies
-from ..core.accuracy import evaluate_exit_accuracies
-from ..core.inference import StagedInferenceEngine
 from .results import ExperimentResult
-from .runner import ExperimentScale, default_scale, get_dataset, get_trained_ddnn
+from .runner import ExperimentScale, capture_oracle, default_scale, get_dataset, get_trained_ddnn
 
 __all__ = ["run_scaling_devices", "compute_individual_accuracies"]
 
@@ -94,9 +90,9 @@ def run_scaling_devices(
         config = type(config)(**{**config.__dict__, "seed": scale.model_seed + 100 * count})
         model, _ = _train_for_subset(scale, config, subset_train)
 
-        exit_accuracy = evaluate_exit_accuracies(model, subset_test)
-        engine = StagedInferenceEngine(model, threshold)
-        staged = engine.run(subset_test)
+        oracle = capture_oracle(model, subset_test)
+        exit_accuracy = oracle.exit_accuracies()
+        staged = oracle.route(threshold)
         result.add_row(
             num_devices=count,
             added_device=selected[-1] + 1,

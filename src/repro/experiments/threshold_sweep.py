@@ -5,15 +5,19 @@ swept; for each value the experiment reports the fraction of samples exited
 locally, the overall accuracy and the average per-device communication cost
 of Eq. 1 — the three columns of the paper's Table II (Figure 7 plots the
 same sweep).
+
+The sweep runs on the forward-once :class:`~repro.core.oracle.ExitOracle`:
+the test set is forwarded exactly once (compiled) and every threshold row is
+vectorized routing over the cached entropies, instead of one full eager
+forward per threshold.
 """
 
 from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from ..core.inference import StagedInferenceEngine
 from .results import ExperimentResult
-from .runner import ExperimentScale, default_scale, get_dataset, get_trained_ddnn
+from .runner import ExperimentScale, capture_oracle, default_scale, get_dataset, get_trained_ddnn
 
 __all__ = ["run_threshold_sweep", "PAPER_TABLE2_THRESHOLDS"]
 
@@ -42,13 +46,12 @@ def run_threshold_sweep(
         ],
         metadata={"scale": scale.name, "scheme": model.config.scheme},
     )
-    for threshold in thresholds:
-        engine = StagedInferenceEngine(model, float(threshold))
-        inference = engine.run(test_set)
+    oracle = capture_oracle(model, test_set)
+    for point in oracle.sweep(thresholds).points():
         result.add_row(
-            threshold=float(threshold),
-            local_exit_pct=100.0 * inference.local_exit_fraction,
-            overall_accuracy_pct=100.0 * inference.overall_accuracy(test_set.labels),
-            communication_bytes=engine.communication_bytes(inference),
+            threshold=point.threshold,
+            local_exit_pct=100.0 * point.local_exit_fraction,
+            overall_accuracy_pct=100.0 * point.overall_accuracy,
+            communication_bytes=point.communication_bytes,
         )
     return result

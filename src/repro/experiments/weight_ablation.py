@@ -11,10 +11,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence, Tuple
 
-from ..core.accuracy import evaluate_exit_accuracies
-from ..core.inference import StagedInferenceEngine
 from .results import ExperimentResult
-from .runner import ExperimentScale, default_scale, get_dataset, get_trained_ddnn
+from .runner import ExperimentScale, capture_oracle, default_scale, get_dataset, get_trained_ddnn
 
 __all__ = ["run_weight_ablation", "DEFAULT_WEIGHTINGS"]
 
@@ -52,8 +50,9 @@ def run_weight_ablation(
     for name, (local_weight, cloud_weight) in weightings:
         training = scale.training_config(exit_weights=(local_weight, cloud_weight))
         model, _ = get_trained_ddnn(scale, training=training)
-        accuracies = evaluate_exit_accuracies(model, test_set)
-        staged = StagedInferenceEngine(model, threshold).run(test_set)
+        oracle = capture_oracle(model, test_set)
+        accuracies = oracle.exit_accuracies()
+        staged = oracle.route(threshold)
         result.add_row(
             weighting=name,
             local_weight=local_weight,

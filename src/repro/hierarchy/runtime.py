@@ -101,9 +101,9 @@ class HierarchyRuntime:
         self.cascade = ExitCascade.for_model(self.model, thresholds)
         self.compiled = None
         if compile:
-            from ..compile import compile_ddnn
+            from ..compile.cache import compiled_plan_for
 
-            self.compiled = compile_ddnn(self.model)
+            self.compiled = compiled_plan_for(self.model)
 
     @property
     def criteria(self) -> List[ExitCriterion]:

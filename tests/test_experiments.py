@@ -161,3 +161,34 @@ class TestExperimentHarnesses:
         for row in result.rows:
             assert row["device_memory_bytes"] < 2048
             assert row["communication_bytes"] > 0
+
+
+class TestOracleCapture:
+    def test_capture_oracle_memoizes_per_model_and_dataset(self, tiny_scale):
+        _, test_set = experiments.get_dataset(tiny_scale)
+        model, _ = experiments.get_trained_ddnn(tiny_scale)
+        first = experiments.capture_oracle(model, test_set)
+        assert experiments.capture_oracle(model, test_set) is first
+        degraded = test_set.with_failed_devices([0])
+        assert experiments.capture_oracle(model, degraded) is not first
+        experiments.clear_cache()
+        assert experiments.capture_oracle(model, test_set) is not first
+
+    def test_capture_oracle_not_stale_after_retraining(self, tiny_scale):
+        """In-place retraining must key the model away from its old capture."""
+        train_set, test_set = experiments.get_dataset(tiny_scale)
+        model, trainer = experiments.get_trained_ddnn(tiny_scale)
+        first = experiments.capture_oracle(model, test_set)
+        trainer.train_epoch(train_set, epoch=99)
+        assert experiments.capture_oracle(model, test_set) is not first
+
+    def test_capture_oracle_never_pins_throwaway_datasets(self, tiny_scale):
+        from repro.experiments.runner import _ORACLE_CACHE
+
+        _, test_set = experiments.get_dataset(tiny_scale)
+        model, _ = experiments.get_trained_ddnn(tiny_scale)
+        before = len(_ORACLE_CACHE)
+        degraded = test_set.with_failed_devices([0])
+        experiments.capture_oracle(model, degraded)
+        experiments.capture_oracle(model, degraded)
+        assert len(_ORACLE_CACHE) == before
