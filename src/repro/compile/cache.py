@@ -11,11 +11,17 @@ process had already compiled.  The cache here is shared by all of them:
 * entries hold the model only *weakly* — dropping the last strong reference
   to a model evicts its plan instead of leaking it;
 * :func:`invalidate_plan` is the explicit hook to call after (re)training a
-  model in place, since plans snapshot weights at compile time.
+  model in place, since plans snapshot weights at compile time;
+* all bookkeeping is guarded by one re-entrant lock, so worker threads
+  (:mod:`repro.serving.workers`) can look plans up while a training loop
+  invalidates them — compilation itself happens *outside* the lock, so a
+  slow compile never stalls other threads' cache hits, and a lost compile
+  race just discards the loser's plan.
 """
 
 from __future__ import annotations
 
+import threading
 import weakref
 from typing import Dict, Optional, Tuple
 
@@ -23,18 +29,24 @@ __all__ = ["compiled_plan_for", "invalidate_plan", "cached_plan_count"]
 
 #: id(model) -> (weakref to the model, its CompiledDDNN plan).
 _PLAN_CACHE: Dict[int, Tuple["weakref.ref", object]] = {}
+# RLock, not Lock: the weakref eviction callback can fire during a GC
+# triggered while the owning thread already holds the lock.
+_CACHE_LOCK = threading.RLock()
 
 
 def compiled_plan_for(model):
     """The process-wide compiled plan for a model, compiling on first use.
 
     The plan snapshots the model's weights; call :func:`invalidate_plan`
-    after the model is (re)trained to force a rebuild.
+    after the model is (re)trained to force a rebuild.  Thread-safe: racing
+    first-use compiles both build a plan, and the second to finish adopts
+    the first one's entry.
     """
     key = id(model)
-    entry = _PLAN_CACHE.get(key)
-    if entry is not None and entry[0]() is model:
-        return entry[1]
+    with _CACHE_LOCK:
+        entry = _PLAN_CACHE.get(key)
+        if entry is not None and entry[0]() is model:
+            return entry[1]
 
     from .ddnn import compile_ddnn
 
@@ -43,11 +55,16 @@ def compiled_plan_for(model):
     def _evict(ref, key=key):
         # Only drop the entry if it still belongs to the dead model — the id
         # may have been recycled and the slot overwritten by a newer model.
-        current = _PLAN_CACHE.get(key)
-        if current is not None and current[0] is ref:
-            del _PLAN_CACHE[key]
+        with _CACHE_LOCK:
+            current = _PLAN_CACHE.get(key)
+            if current is not None and current[0] is ref:
+                del _PLAN_CACHE[key]
 
-    _PLAN_CACHE[key] = (weakref.ref(model, _evict), plan)
+    with _CACHE_LOCK:
+        entry = _PLAN_CACHE.get(key)
+        if entry is not None and entry[0]() is model:
+            return entry[1]
+        _PLAN_CACHE[key] = (weakref.ref(model, _evict), plan)
     return plan
 
 
@@ -57,14 +74,16 @@ def invalidate_plan(model: Optional[object] = None) -> None:
     Required after in-place retraining: compiled plans bake the weights in
     and would otherwise keep serving the stale snapshot.
     """
-    if model is None:
-        _PLAN_CACHE.clear()
-        return
-    entry = _PLAN_CACHE.get(id(model))
-    if entry is not None and entry[0]() is model:
-        del _PLAN_CACHE[id(model)]
+    with _CACHE_LOCK:
+        if model is None:
+            _PLAN_CACHE.clear()
+            return
+        entry = _PLAN_CACHE.get(id(model))
+        if entry is not None and entry[0]() is model:
+            del _PLAN_CACHE[id(model)]
 
 
 def cached_plan_count() -> int:
     """Number of live cached plans (for tests and diagnostics)."""
-    return len(_PLAN_CACHE)
+    with _CACHE_LOCK:
+        return len(_PLAN_CACHE)

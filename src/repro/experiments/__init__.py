@@ -29,6 +29,11 @@ from .overload_study import (
     queue_latency_bound_s,
     run_overload_study,
 )
+from .parallel_serving import (
+    DEFAULT_PARALLEL_WORKER_COUNTS,
+    available_cpu_count,
+    run_parallel_serving,
+)
 from .results import ExperimentResult, format_table
 from .runner import (
     ExperimentScale,
@@ -63,6 +68,7 @@ EXPERIMENT_REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
     "overload_tail_latency": run_overload_study,
     "compiled_forward": run_compiled_forward,
     "distributed_serving": run_distributed_serving,
+    "parallel_serving": run_parallel_serving,
     "threshold_sweep_fastpath": run_sweep_fastpath,
 }
 
@@ -105,6 +111,9 @@ __all__ = [
     "DEFAULT_WORKER_COUNTS",
     "DEFAULT_BANDWIDTH_SCALES",
     "DEFAULT_THRESHOLD_SWEEP",
+    "run_parallel_serving",
+    "DEFAULT_PARALLEL_WORKER_COUNTS",
+    "available_cpu_count",
     "run_sweep_fastpath",
     "DEFAULT_SWEEP_GRIDS",
     "REFERENCE_GRID",

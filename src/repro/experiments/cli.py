@@ -9,6 +9,8 @@ Usage::
     python -m repro.experiments load-bench --policy reject --offered-x 2.0
     python -m repro.experiments infer-bench --batch-size 1 --batch-size 64
     python -m repro.experiments dist-bench --workers 1 --workers 4 --offered-x 2.0
+    python -m repro.experiments dist-bench --backend thread --workers 2
+    python -m repro.experiments parallel-bench --workers 1 --workers 4
     python -m repro.experiments sweep-bench --timing-rounds 3
 
 Each experiment prints its table (the same rows the paper reports) and can
@@ -230,6 +232,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="run tier forwards on per-worker compiled plans (default: eager)",
     )
     dist_parser.add_argument(
+        "--backend",
+        choices=("simulated", "thread"),
+        default="simulated",
+        help="worker-pool backend: deterministic simulated slots (default) or "
+        "real thread-pool workers on wall-clock time (implies --compiled)",
+    )
+    dist_parser.add_argument(
         "--calibrate",
         action="store_true",
         help="use plan-timing-calibrated service models in the rows (machine-dependent)",
@@ -239,6 +248,49 @@ def build_parser() -> argparse.ArgumentParser:
         type=Path,
         default=None,
         help="directory to write the table as distributed_serving.txt",
+    )
+
+    parallel_parser = subparsers.add_parser(
+        "parallel-bench",
+        help="wall-clock parallel serving: thread-pool worker scaling + backend equivalence",
+    )
+    parallel_parser.add_argument(
+        "--scale",
+        choices=("ci", "paper"),
+        default="ci",
+        help="experiment scale for the model and request stream",
+    )
+    parallel_parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.8,
+        help="local-exit entropy threshold used by the cascade",
+    )
+    parallel_parser.add_argument(
+        "--workers",
+        type=int,
+        action="append",
+        dest="worker_counts",
+        default=None,
+        help="thread worker counts to measure (repeatable; default: 1, 2 and 4)",
+    )
+    parallel_parser.add_argument(
+        "--num-requests",
+        type=int,
+        default=96,
+        help="batch-1 requests per scaling row",
+    )
+    parallel_parser.add_argument(
+        "--rounds",
+        type=int,
+        default=2,
+        help="timed rounds per scaling row (fastest kept)",
+    )
+    parallel_parser.add_argument(
+        "--output-dir",
+        type=Path,
+        default=None,
+        help="directory to write the table as parallel_serving.txt",
     )
 
     infer_parser = subparsers.add_parser(
@@ -403,6 +455,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             seed=args.seed,
             compiled=args.compiled,
             calibrate=args.calibrate,
+            backend=args.backend,
         )
         text = result.to_text()
         print(text)
@@ -411,6 +464,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"overhead {result.metadata['measured_plan_batch_overhead_ms']:.3f} ms, "
             f"per-sample {result.metadata['measured_plan_per_sample_ms']:.3f} ms "
             f"({result.metadata['service_calibration']} rows)"
+        )
+        if args.output_dir is not None:
+            args.output_dir.mkdir(parents=True, exist_ok=True)
+            (args.output_dir / f"{result.name}.txt").write_text(text + "\n")
+        return 0
+
+    if args.command == "parallel-bench":
+        from .parallel_serving import DEFAULT_PARALLEL_WORKER_COUNTS, run_parallel_serving
+
+        scale = paper_scale() if args.scale == "paper" else ci_scale()
+        result = run_parallel_serving(
+            scale,
+            threshold=args.threshold,
+            worker_counts=args.worker_counts or DEFAULT_PARALLEL_WORKER_COUNTS,
+            num_requests=args.num_requests,
+            rounds=args.rounds,
+        )
+        text = result.to_text()
+        print(text)
+        print(
+            f"cpu_count={result.metadata['cpu_count']}; wall-clock rows are "
+            "machine-dependent (see metadata note)"
         )
         if args.output_dir is not None:
             args.output_dir.mkdir(parents=True, exist_ok=True)

@@ -95,11 +95,22 @@ def run_distributed_serving(
     seed: int = 0,
     compiled: bool = False,
     calibrate: bool = False,
+    backend: str = "simulated",
 ) -> ExperimentResult:
-    """Sweep p95 latency and offload fraction across the fabric's knobs."""
+    """Sweep p95 latency and offload fraction across the fabric's knobs.
+
+    ``backend="thread"`` runs every row on real thread-pool workers against
+    wall-clock time (forcing the compiled forward path): latencies become
+    machine-dependent measurements instead of deterministic simulated
+    values, while offload fractions, bytes and accuracy stay identical to
+    the simulated table — that cross-check is what the CI smoke row relies
+    on.
+    """
     scale = scale if scale is not None else default_scale()
     if num_requests < 1:
         raise ValueError("num_requests must be >= 1")
+    if backend == "thread":
+        compiled = True  # thread workers require compiled plan bundles
     model, _ = get_trained_ddnn(scale)
     _, test_set = get_dataset(scale)
 
@@ -150,6 +161,7 @@ def run_distributed_serving(
             "max_batch_size": max_batch_size,
             "max_wait_s": max_wait_s,
             "seed": seed,
+            "backend": backend,
             "forward_path": "compiled" if compiled else "eager",
             "service_calibration": "plan-timings" if calibrate else "hand-set",
             "measured_plan_batch_overhead_ms": 1e3 * measured.batch_overhead_s,
@@ -180,13 +192,17 @@ def run_distributed_serving(
             service_models=[device_service]
             + [upper_service] * (1 + (1 if deployment.model.has_edge else 0)),
             adaptive=adaptive,
+            backend=backend,
         )
-        report = fabric.open_loop(
-            PoissonProcess(offered_rps, seed=row_seed),
-            test_set.images,
-            targets=test_set.labels,
-            num_requests=num_requests,
-        )
+        try:
+            report = fabric.open_loop(
+                PoissonProcess(offered_rps, seed=row_seed),
+                test_set.images,
+                targets=test_set.labels,
+                num_requests=num_requests,
+            )
+        finally:
+            fabric.close()
         result.add_row(
             sweep=sweep,
             workers=workers,

@@ -18,6 +18,7 @@ variable (``ci`` or ``paper``), defaulting to ``ci``.
 from __future__ import annotations
 
 import os
+import threading
 from dataclasses import dataclass, field, replace
 from typing import Dict, Optional, Tuple
 
@@ -137,13 +138,19 @@ _MODEL_CACHE: Dict[Tuple, Tuple[DDNN, DDNNTrainer]] = {}
 #: references double-check identity against recycled ids and keep the key
 #: owners alive, mirroring _MODEL_CACHE's lifetime.
 _ORACLE_CACHE: Dict[Tuple, Tuple] = {}
+#: Guards the oracle memo (lookup, cacheability probe, insert, clear) so
+#: concurrent captures from worker threads can't corrupt the dict; the
+#: capture itself runs outside the lock, so a lost race costs one extra
+#: forward, never a stall.
+_ORACLE_LOCK = threading.RLock()
 
 
 def clear_cache() -> None:
     """Drop all cached datasets, trained models and captured oracles."""
     _DATASET_CACHE.clear()
     _MODEL_CACHE.clear()
-    _ORACLE_CACHE.clear()
+    with _ORACLE_LOCK:
+        _ORACLE_CACHE.clear()
 
 
 def get_dataset(scale: ExperimentScale) -> Tuple[MVMCDataset, MVMCDataset]:
@@ -253,9 +260,6 @@ def capture_oracle(model: DDNN, dataset: MVMCDataset, batch_size: int = 64):
     from ..core.oracle import ExitOracle
 
     eager = os.environ.get("REPRO_EAGER_EVAL", "").lower() in ("1", "true", "yes")
-    cacheable = any(
-        dataset is split for pair in _DATASET_CACHE.values() for split in pair
-    )
     # The weights version (bumped by DDNNTrainer.train_epoch) keys retrained
     # models away from their pre-training captures.
     key = (
@@ -265,11 +269,22 @@ def capture_oracle(model: DDNN, dataset: MVMCDataset, batch_size: int = 64):
         batch_size,
         getattr(model, "_weights_version", 0),
     )
-    if cacheable:
-        entry = _ORACLE_CACHE.get(key)
-        if entry is not None and entry[0] is model and entry[1] is dataset:
-            return entry[2]
-    oracle = ExitOracle.capture(model, dataset, batch_size=batch_size, compile=not eager)
-    if cacheable:
-        _ORACLE_CACHE[key] = (model, dataset, oracle)
-    return oracle
+    # The whole lookup-capture-insert runs under one lock: the capture
+    # forwards through the process-wide compiled plan for ``model``, whose
+    # preallocated scratch arenas are single-threaded, so concurrent
+    # captures of the same model would corrupt each other's logits.
+    # Serializing here also means a memo stampede pays the forward once.
+    with _ORACLE_LOCK:
+        cacheable = any(
+            dataset is split for pair in _DATASET_CACHE.values() for split in pair
+        )
+        if cacheable:
+            entry = _ORACLE_CACHE.get(key)
+            if entry is not None and entry[0] is model and entry[1] is dataset:
+                return entry[2]
+        oracle = ExitOracle.capture(
+            model, dataset, batch_size=batch_size, compile=not eager
+        )
+        if cacheable:
+            _ORACLE_CACHE[key] = (model, dataset, oracle)
+        return oracle

@@ -11,6 +11,7 @@ show the response-time benefit of exiting samples locally.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -61,6 +62,11 @@ class NetworkLink:
     bandwidth_bytes_per_s: float = 250_000.0
     latency_s: float = 0.01
     stats: LinkStats = field(default_factory=LinkStats)
+    # Traffic counters are shared by concurrent fabric workers; the lock
+    # keeps the read-modify-write accounting exact under threads.
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def transfer_time(self, size_bytes: float) -> float:
         """Seconds needed to move ``size_bytes`` across this link."""
@@ -71,13 +77,15 @@ class NetworkLink:
     def send(self, message: Message) -> float:
         """Account for a message and return its transfer time in seconds."""
         seconds = self.transfer_time(message.size_bytes)
-        self.stats.messages += 1
-        self.stats.bytes_transferred += message.size_bytes
-        self.stats.transfer_seconds += seconds
+        with self._lock:
+            self.stats.messages += 1
+            self.stats.bytes_transferred += message.size_bytes
+            self.stats.transfer_seconds += seconds
         return seconds
 
     def reset(self) -> None:
-        self.stats = LinkStats()
+        with self._lock:
+            self.stats = LinkStats()
 
 
 class NetworkFabric:
@@ -86,6 +94,7 @@ class NetworkFabric:
     def __init__(self) -> None:
         self._links: Dict[Tuple[str, str], NetworkLink] = {}
         self.log: List[Message] = []
+        self._log_lock = threading.Lock()
 
     def add_link(self, link: NetworkLink) -> None:
         key = (link.source, link.destination)
@@ -119,7 +128,8 @@ class NetworkFabric:
         link = self.link(message.source, message.destination)
         seconds = link.send(message)
         if record:
-            self.log.append(message)
+            with self._log_lock:
+                self.log.append(message)
         return seconds
 
     # ------------------------------------------------------------------ #

@@ -9,6 +9,7 @@ the sizes of the payloads they emit.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -57,6 +58,10 @@ class ComputeNode:
         self.ops_per_second = ops_per_second
         self.stats = NodeStats()
         self.failed = False
+        # Stats counters are read-modify-write; concurrent worker threads
+        # (the serving fabric's thread backend) share the node objects, so
+        # accounting is serialized to keep the totals exact.
+        self._stats_lock = threading.Lock()
 
     def fail(self) -> None:
         """Mark this node as failed; it stops producing output."""
@@ -68,12 +73,19 @@ class ComputeNode:
 
     def _account(self, operations: float, samples: int = 1) -> float:
         seconds = operations / self.ops_per_second
-        self.stats.samples_processed += samples
-        self.stats.compute_seconds += seconds
+        with self._stats_lock:
+            self.stats.samples_processed += samples
+            self.stats.compute_seconds += seconds
         return seconds
 
+    def record_bytes_sent(self, size: float) -> None:
+        """Add to the node's bytes-sent counter (thread-safe)."""
+        with self._stats_lock:
+            self.stats.bytes_sent += size
+
     def reset_stats(self) -> None:
-        self.stats.reset()
+        with self._stats_lock:
+            self.stats.reset()
 
     def __repr__(self) -> str:
         status = "failed" if self.failed else "ok"

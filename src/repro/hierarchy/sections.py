@@ -195,7 +195,7 @@ class DeviceTierSection(TierSection):
                         ),
                         record=False,
                     )
-                    device.stats.bytes_sent += summary_size
+                    device.record_bytes_sent(summary_size)
                     intake_bytes[sample] += summary_size
                     intake_s[sample] = max(
                         intake_s[sample], device_latency[device_index] + seconds
@@ -260,7 +260,7 @@ class DeviceTierSection(TierSection):
                     ),
                     record=False,
                 )
-                device.stats.bytes_sent += size
+                device.record_bytes_sent(size)
                 transferred[position] += size
                 delay[position] = max(delay[position], seconds)
         payloads = [
@@ -357,7 +357,7 @@ class EdgeTierSection(TierSection):
                     ),
                     record=False,
                 )
-                edge.stats.bytes_sent += size
+                edge.record_bytes_sent(size)
                 transferred[position] += size
                 delay[position] = max(delay[position], seconds)
         payloads = [tuple(features[row] for features in edge_features) for row in rows]

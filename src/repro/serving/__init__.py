@@ -26,6 +26,12 @@ the hard tail.  This package provides the online counterpart of the offline
   transfer delay, with optional :class:`AdaptiveThreshold` shedding.
   :class:`DDNNServer` is its single-tier degenerate case, and
   :class:`~repro.hierarchy.runtime.HierarchyRuntime` its offline replay.
+* :class:`WorkerPool` backends (:class:`SimulatedWorkerPool`,
+  :class:`ThreadPoolWorkerPool`) — how fabric/server workers occupy time:
+  deterministic simulated slots (the paper-table default) or real
+  :class:`~concurrent.futures.ThreadPoolExecutor` threads running
+  per-worker compiled plan bundles against a :class:`WallClock`, turning
+  the same serving script into a wall-clock-concurrent server.
 
 All timing flows through an injectable clock, so scheduling behaviour is
 deterministic under test while real deployments use wall time.
@@ -46,7 +52,7 @@ from .admission import (
     admission_policy,
 )
 from .batcher import BatchingPolicy, MicroBatcher
-from .clock import EventLoop, SimulatedClock
+from .clock import EventLoop, SimulatedClock, WallClock
 from .fabric import (
     AdaptiveThreshold,
     DistributedServingFabric,
@@ -67,6 +73,14 @@ from .loadgen import (
 from .queue import ClientSession, InferenceRequest, InferenceResponse, RequestQueue
 from .server import DDNNServer
 from .stats import ServerStats, StatsSnapshot
+from .workers import (
+    WORKER_POOL_BACKENDS,
+    SimulatedWorkerPool,
+    ThreadPoolWorkerPool,
+    WorkerHandle,
+    WorkerPool,
+    make_worker_pool,
+)
 
 __all__ = [
     "InferenceRequest",
@@ -91,7 +105,14 @@ __all__ = [
     "ServerStats",
     "StatsSnapshot",
     "SimulatedClock",
+    "WallClock",
     "EventLoop",
+    "WorkerPool",
+    "WorkerHandle",
+    "SimulatedWorkerPool",
+    "ThreadPoolWorkerPool",
+    "WORKER_POOL_BACKENDS",
+    "make_worker_pool",
     "AdaptiveThreshold",
     "DistributedServingFabric",
     "FabricRequest",

@@ -1,4 +1,4 @@
-"""Simulated time and the discrete-event scheduler shared by serving layers.
+"""Time sources and the event scheduler shared by serving layers.
 
 :class:`SimulatedClock` is the manually-advanced time source the open-loop
 load generator has always used; it now lives here so the distributed serving
@@ -7,15 +7,29 @@ discrete-event simulation: a time-ordered queue of callbacks.  Events fired
 at the same timestamp run in scheduling order, which makes every simulation
 built on the loop fully deterministic — the property all serving studies in
 this repo rely on for machine-independent latency tables.
+
+The loop also has a *wall-clock dispatch mode* (:class:`WallClock`, or
+``realtime=True``): instead of jumping the clock to the next event's
+timestamp, :meth:`EventLoop.run` genuinely waits for it, and callbacks may
+be posted from other threads (:meth:`EventLoop.post`) — which is how the
+thread-pool worker backend turns completed forwards on real worker threads
+back into loop events.  While external work is outstanding
+(:meth:`EventLoop.begin_inflight` / :meth:`EventLoop.end_inflight`), an
+empty queue blocks instead of terminating, so ``run()`` still means "serve
+until everything in flight has completed".  All queue operations are
+lock-protected, so scheduling is thread-safe in either mode; in simulated
+mode the firing order is unchanged, bit for bit.
 """
 
 from __future__ import annotations
 
 import heapq
 import math
-from typing import Callable, List, Tuple
+import threading
+import time
+from typing import Callable, List, Optional, Tuple
 
-__all__ = ["SimulatedClock", "EventLoop"]
+__all__ = ["SimulatedClock", "WallClock", "EventLoop"]
 
 
 class SimulatedClock:
@@ -38,29 +52,72 @@ class SimulatedClock:
             self.now = timestamp
 
 
+class WallClock:
+    """Real elapsed time with the :class:`SimulatedClock` reading interface.
+
+    ``now`` is seconds since construction (monotonic, ``perf_counter``
+    based), so timelines start at 0.0 like a fresh simulated clock and the
+    same fabric code reads either clock.  Wall time advances on its own:
+    :meth:`advance_to` is a no-op — the waiting happens in
+    :meth:`EventLoop.run`'s realtime dispatch, which sleeps until the next
+    event is due instead of jumping the clock.
+    """
+
+    def __init__(self) -> None:
+        self._origin = time.perf_counter()
+
+    @property
+    def now(self) -> float:
+        return time.perf_counter() - self._origin
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance_to(self, timestamp: float) -> None:
+        """Wall time cannot be advanced; the event loop waits instead."""
+
+
 class EventLoop:
-    """Deterministic discrete-event scheduler over a :class:`SimulatedClock`.
+    """Event scheduler over a :class:`SimulatedClock` or :class:`WallClock`.
 
     Callbacks are invoked in ``(time, scheduling order)`` order; a callback
     may schedule further events (including at the current instant, which run
     after every already-scheduled event at that instant).  An event scheduled
     in the past fires "now" — time never rewinds.
+
+    In simulated mode (the default), :meth:`run` jumps the clock from event
+    to event, which is fully deterministic.  In realtime mode (a
+    :class:`WallClock`, or ``realtime=True``), :meth:`run` waits for each
+    event's wall-clock deadline, wakes early when another thread posts new
+    work, and keeps serving while registered in-flight operations are
+    outstanding.
     """
 
-    def __init__(self, clock: SimulatedClock | None = None) -> None:
+    def __init__(self, clock=None, realtime: Optional[bool] = None) -> None:
         self.clock = clock if clock is not None else SimulatedClock()
+        self.realtime = (
+            isinstance(self.clock, WallClock) if realtime is None else bool(realtime)
+        )
         self._heap: List[Tuple[float, int, Callable[[float], None]]] = []
         self._sequence = 0
+        self._mutex = threading.Lock()
+        self._wakeup = threading.Condition(self._mutex)
+        self._inflight = 0
 
     def __len__(self) -> int:
-        return len(self._heap)
+        with self._mutex:
+            return len(self._heap)
 
     def schedule(self, when: float, callback: Callable[[float], None]) -> None:
-        """Enqueue ``callback(fire_time)`` to run at simulated time ``when``."""
+        """Enqueue ``callback(fire_time)`` to run at time ``when`` (thread-safe)."""
         if math.isnan(when):
             raise ValueError("cannot schedule an event at NaN time")
-        heapq.heappush(self._heap, (max(when, self.clock.now), self._sequence, callback))
-        self._sequence += 1
+        with self._wakeup:
+            heapq.heappush(
+                self._heap, (max(when, self.clock.now), self._sequence, callback)
+            )
+            self._sequence += 1
+            self._wakeup.notify_all()
 
     def schedule_after(self, delay: float, callback: Callable[[float], None]) -> None:
         """Enqueue a callback ``delay`` seconds from the current instant."""
@@ -68,18 +125,63 @@ class EventLoop:
             raise ValueError(f"event delay must be >= 0, got {delay}")
         self.schedule(self.clock.now + delay, callback)
 
+    def post(self, callback: Callable[[float], None]) -> None:
+        """Enqueue a callback at the current instant, waking a waiting run().
+
+        This is the cross-thread entry point: worker threads hand their
+        completions back to the loop with it, and the loop thread runs them.
+        """
+        self.schedule(self.clock.now, callback)
+
+    # -- in-flight external work (thread-pool completions) -------------- #
+    def begin_inflight(self) -> None:
+        """Register one outstanding external operation; run() won't exit
+        on an empty queue until it is resolved with :meth:`end_inflight`."""
+        with self._wakeup:
+            self._inflight += 1
+
+    def end_inflight(self) -> None:
+        """Resolve one outstanding external operation."""
+        with self._wakeup:
+            if self._inflight <= 0:
+                raise RuntimeError("end_inflight() without matching begin_inflight()")
+            self._inflight -= 1
+            self._wakeup.notify_all()
+
+    # ------------------------------------------------------------------ #
+    def _next_event(self):
+        """Pop the next due event, waiting in realtime mode; None when idle."""
+        with self._wakeup:
+            while True:
+                if self._heap:
+                    if not self.realtime:
+                        return heapq.heappop(self._heap)
+                    delay = self._heap[0][0] - self.clock.now
+                    if delay <= 0.0:
+                        return heapq.heappop(self._heap)
+                    # Wait for the deadline; an earlier post() re-examines.
+                    self._wakeup.wait(timeout=delay)
+                elif self._inflight > 0:
+                    # Nothing queued, but worker threads owe completions.
+                    # The timeout is belt-and-braces against a lost notify.
+                    self._wakeup.wait(timeout=0.1)
+                else:
+                    return None
+
     def run(self, max_events: int | None = None) -> int:
-        """Fire events until the queue is empty; returns how many ran.
+        """Fire events until the queue is empty and nothing is in flight.
 
         ``max_events`` is a safety valve for tests; exceeding it raises
         :class:`RuntimeError` instead of looping forever.
         """
         fired = 0
-        while self._heap:
+        while True:
+            entry = self._next_event()
+            if entry is None:
+                return fired
             if max_events is not None and fired >= max_events:
                 raise RuntimeError(f"event loop exceeded {max_events} events")
-            when, _, callback = heapq.heappop(self._heap)
+            when, _, callback = entry
             self.clock.advance_to(when)
             callback(self.clock.now)
             fired += 1
-        return fired

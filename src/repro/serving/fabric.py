@@ -22,6 +22,15 @@ The fabric is a discrete-event simulation on the shared
 * everything (arrival interleaving, batch formation, worker assignment,
   transfer timing) is deterministic in simulated time.
 
+Workers are a pluggable backend (:mod:`repro.serving.workers`): the default
+``backend="simulated"`` keeps the deterministic discrete-event slots above,
+while ``backend="thread"`` (with ``compile=True``) runs the same per-worker
+plan bundles on a real :class:`~concurrent.futures.ThreadPoolExecutor`
+against a :class:`~repro.serving.clock.WallClock` — the same fabric script
+becomes a genuinely concurrent server whose throughput is a wall-clock
+number.  Exit decisions are byte-identical across backends; only timing
+(and, for stochastic fault plans, the order of RNG draws) differs.
+
 Exit decisions are byte-identical to the monolithic single-loop baseline
 (:meth:`~repro.core.cascade.ExitCascade.run_model`) for any worker count
 and link configuration — workers and links change *when* things happen,
@@ -52,8 +61,14 @@ from ..hierarchy.network import Message, NetworkLink
 from ..hierarchy.partition import HierarchyDeployment, LinkSpec
 from ..hierarchy.sections import TierSection, build_tier_sections, stack_rows
 from .batcher import BatchingPolicy
-from .clock import EventLoop, SimulatedClock
+from .clock import EventLoop, SimulatedClock, WallClock
 from .loadgen import ArrivalProcess, ServiceModel
+from .workers import (
+    WORKER_POOL_BACKENDS,
+    WorkerHandle,
+    WorkerPool,
+    make_worker_pool,
+)
 
 __all__ = [
     "AdaptiveThreshold",
@@ -166,33 +181,27 @@ class _PendingItem:
     arrival_time: float
 
 
-@dataclass
-class _Worker:
-    index: int
-    busy_until: float = 0.0
-    plans: object = None  # per-worker CompiledDDNN bundle (compile=True only)
-
-
 class TierServer:
-    """One tier of the fabric: queue + batching policy + N workers."""
+    """One tier of the fabric: queue + batching policy + a worker pool.
+
+    The pool decides how a dispatched batch occupies time — deterministic
+    simulated slots, or real executor threads (see
+    :mod:`repro.serving.workers`); the tier itself only owns arrival
+    queueing and batch formation, which stay on the event-loop thread in
+    either backend.
+    """
 
     def __init__(
         self,
         section: TierSection,
-        num_workers: int = 1,
+        pool: WorkerPool,
         policy: Optional[BatchingPolicy] = None,
         service_model: Optional[ServiceModel] = None,
-        worker_plans: Optional[Sequence[object]] = None,
     ) -> None:
-        if num_workers < 1:
-            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
         self.section = section
+        self.pool = pool
         self.policy = policy if policy is not None else BatchingPolicy()
         self.service_model = service_model
-        plans = list(worker_plans) if worker_plans is not None else [None] * num_workers
-        if len(plans) != num_workers:
-            raise ValueError("worker_plans must provide one bundle per worker")
-        self.workers = [_Worker(index, plans=plan) for index, plan in enumerate(plans)]
         self.queue: Deque[_PendingItem] = deque()
         self.batches_dispatched = 0
         self.samples_processed = 0
@@ -201,11 +210,12 @@ class TierServer:
     def name(self) -> str:
         return self.section.tier_name
 
-    def free_worker(self, now: float) -> Optional[_Worker]:
-        for worker in self.workers:
-            if worker.busy_until <= now:
-                return worker
-        return None
+    @property
+    def workers(self) -> List[WorkerHandle]:
+        return self.pool.workers
+
+    def free_worker(self, now: float) -> Optional[WorkerHandle]:
+        return self.pool.acquire(now)
 
     def due(self, now: float, draining: bool) -> bool:
         if not self.queue:
@@ -258,6 +268,16 @@ class DistributedServingFabric:
         propagation delay).
     adaptive:
         Optional :class:`AdaptiveThreshold` queue-pressure shedding.
+    backend:
+        Worker-pool backend: ``"simulated"`` (default — deterministic
+        discrete-event slots, the paper-table replay path, byte-identical
+        to earlier releases) or ``"thread"`` (real
+        :class:`~concurrent.futures.ThreadPoolExecutor` workers against a
+        :class:`~repro.serving.clock.WallClock`; requires ``compile=True``
+        because eager forwards share the process-wide ``no_grad`` switch).
+        The thread backend defaults ``clock`` to a fresh ``WallClock`` and
+        rejects a simulated one — wall-clock dispatch is what makes real
+        concurrency observable.
     """
 
     def __init__(
@@ -267,19 +287,40 @@ class DistributedServingFabric:
         workers_per_tier: Union[int, Sequence[int]] = 1,
         batching: Union[None, BatchingPolicy, Sequence[Optional[BatchingPolicy]]] = None,
         compile: bool = False,
-        clock: Optional[SimulatedClock] = None,
+        clock: Union[None, SimulatedClock, WallClock] = None,
         sections: Optional[Sequence[TierSection]] = None,
         service_models: Optional[Sequence[Optional[ServiceModel]]] = None,
         client_link: Optional[LinkSpec] = None,
         request_bytes: float = 0.0,
         adaptive: Optional[AdaptiveThreshold] = None,
+        backend: str = "simulated",
     ) -> None:
+        if backend not in WORKER_POOL_BACKENDS:
+            raise ValueError(
+                f"unknown backend '{backend}' (choose from {WORKER_POOL_BACKENDS})"
+            )
+        if backend == "thread":
+            if not compile:
+                raise ValueError(
+                    "backend='thread' requires compile=True: eager forwards "
+                    "toggle the process-wide no_grad switch and are not "
+                    "thread-safe; compiled plan bundles are"
+                )
+            if clock is None:
+                clock = WallClock()
+            elif not isinstance(clock, WallClock):
+                raise ValueError(
+                    "backend='thread' runs against wall-clock time; pass a "
+                    "WallClock (or leave clock=None) instead of "
+                    f"{type(clock).__name__}"
+                )
         self.deployment = deployment
         self.model = deployment.model
         self.cascade = ExitCascade.for_model(self.model, thresholds)
         self.events = EventLoop(clock)
         self.adaptive = adaptive
         self.compile_enabled = bool(compile)
+        self.backend = backend
 
         if sections is None:
             sections = build_tier_sections(deployment)
@@ -307,13 +348,19 @@ class DistributedServingFabric:
         for index, section in enumerate(self.sections):
             count = int(workers[index]) if workers[index] is not None else 1
             plans = bundles[:count] if self.compile_enabled else None
+            pool = make_worker_pool(
+                backend,
+                self.events,
+                num_workers=count,
+                worker_plans=plans,
+                name=section.tier_name,
+            )
             self.tiers.append(
                 TierServer(
                     section,
-                    num_workers=count,
+                    pool,
                     policy=policies[index],
                     service_model=services[index],
-                    worker_plans=plans,
                 )
             )
 
@@ -339,7 +386,7 @@ class DistributedServingFabric:
 
     # ------------------------------------------------------------------ #
     @property
-    def clock(self) -> SimulatedClock:
+    def clock(self) -> Union[SimulatedClock, WallClock]:
         return self.events.clock
 
     @property
@@ -453,15 +500,19 @@ class DistributedServingFabric:
                 payload = np.stack([item.payload for item in batch])
             else:
                 payload = stack_rows([item.payload for item in batch])
-            result = tier.section.process(payload, plans=worker.plans)
-            service = tier.service_time(len(batch), result.service_s)
-            worker.busy_until = now + service
             tier.batches_dispatched += 1
             tier.samples_processed += len(batch)
-            self.events.schedule(
-                worker.busy_until,
-                lambda fire_time, t=tier_index, w=worker, b=batch, r=result, rx=relaxed: (
-                    self._complete(t, w, b, r, rx, fire_time)
+            # The pool decides how the work occupies time: simulated slots
+            # compute inline and bill the modelled service, thread workers
+            # compute on the executor and complete when genuinely done.
+            tier.pool.execute(
+                worker,
+                task=lambda plans, s=tier.section, p=payload: s.process(p, plans=plans),
+                service_for=lambda result, t=tier, n=len(batch): t.service_time(
+                    n, result.service_s
+                ),
+                on_complete=lambda result, fire_time, t=tier_index, w=worker, b=batch, rx=relaxed: (
+                    self._complete(t, w, b, result, rx, fire_time)
                 ),
             )
 
@@ -476,7 +527,7 @@ class DistributedServingFabric:
     def _complete(
         self,
         tier_index: int,
-        worker: _Worker,
+        worker: WorkerHandle,
         batch: List[_PendingItem],
         result,
         relaxed: bool,
@@ -537,13 +588,44 @@ class DistributedServingFabric:
                     ),
                 )
 
-        worker.busy_until = now
+        self.tiers[tier_index].pool.release(worker, now)
         self._dispatch(tier_index, now)
 
     # ------------------------------------------------------------------ #
-    def run_until_idle(self, max_events: Optional[int] = None) -> List[FabricResponse]:
-        """Fire every scheduled event; returns all responses so far."""
-        self.events.run(max_events=max_events)
+    def close(self) -> None:
+        """Shut down the worker pools (joins executor threads); idempotent.
+
+        Only the thread backend holds OS resources, but closing is always
+        safe — ``with DistributedServingFabric(...) as fabric:`` works for
+        either backend.
+        """
+        for tier in self.tiers:
+            tier.pool.shutdown()
+
+    def __enter__(self) -> "DistributedServingFabric":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def run_until_idle(
+        self, max_events: Optional[int] = None, drain: bool = False
+    ) -> List[FabricResponse]:
+        """Fire every scheduled event; returns all responses so far.
+
+        On the thread backend this also waits (in real time) for in-flight
+        worker forwards to land — the loop only goes idle once the queue is
+        empty *and* nothing is outstanding on the executor.  ``drain=True``
+        force-dispatches partial batches for the duration of the run (the
+        batching policy's size cap still applies), exactly like
+        :meth:`serve_dataset` does.
+        """
+        previous = self._draining
+        self._draining = self._draining or drain
+        try:
+            self.events.run(max_events=max_events)
+        finally:
+            self._draining = previous
         return self.responses
 
     def serve_dataset(
@@ -562,12 +644,7 @@ class DistributedServingFabric:
             targets=[int(label) for label in dataset.labels],
             at=at,
         )
-        previous = self._draining
-        self._draining = True
-        try:
-            self.run_until_idle()
-        finally:
-            self._draining = previous
+        self.run_until_idle(drain=True)
         mine = [r for r in self.responses if r.request_id >= first_id]
         return sorted(mine, key=lambda response: response.request_id)
 

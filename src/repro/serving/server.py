@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import time
 from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from typing import Callable, Deque, Dict, List, Mapping, Optional
 
 import numpy as np
@@ -41,6 +42,7 @@ from .admission import AdmissionOutcome, AdmissionPolicy, AdmissionResult, Queue
 from .batcher import BatchingPolicy, MicroBatcher
 from .queue import InferenceRequest, InferenceResponse, RequestQueue
 from .stats import ServerStats, StatsSnapshot
+from .workers import WORKER_POOL_BACKENDS
 
 __all__ = ["DDNNServer"]
 
@@ -81,6 +83,19 @@ class DDNNServer:
         fast path) runs through the :mod:`repro.compile` fused inference
         plan — same predictions and exit routing as the eager stack,
         substantially higher throughput at serving batch sizes.
+    workers:
+        Number of concurrent micro-batch workers.  Only meaningful with
+        ``backend="thread"``; the default synchronous loop is exactly one
+        worker and rejects anything else.
+    backend:
+        ``"simulated"`` (default) keeps the classic synchronous loop —
+        every micro-batch is computed inline on the calling thread, in
+        deterministic order.  ``"thread"`` routes drained micro-batches on
+        a :class:`~concurrent.futures.ThreadPoolExecutor` with one private
+        :class:`~repro.compile.CompiledDDNN` plan bundle per worker
+        (requires ``compile=True``: eager forwards toggle the process-wide
+        ``no_grad`` switch and are not thread-safe).  Exit decisions are
+        byte-identical either way; only completion order/timing differs.
     """
 
     def __init__(
@@ -95,9 +110,42 @@ class DDNNServer:
         client_weights: Optional[Mapping[str, float]] = None,
         retention: Optional[int] = None,
         compile: bool = False,
+        workers: int = 1,
+        backend: str = "simulated",
     ) -> None:
+        if backend not in WORKER_POOL_BACKENDS:
+            raise ValueError(
+                f"unknown backend '{backend}' (choose from {WORKER_POOL_BACKENDS})"
+            )
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if backend == "simulated" and workers != 1:
+            raise ValueError(
+                "backend='simulated' is the synchronous single-worker loop; "
+                "use backend='thread' (with compile=True) for workers > 1, "
+                "or the DistributedServingFabric for multi-worker simulation"
+            )
+        if backend == "thread" and not compile:
+            raise ValueError(
+                "backend='thread' requires compile=True: eager forwards "
+                "toggle the process-wide no_grad switch and are not "
+                "thread-safe; compiled plan bundles are"
+            )
         self.model = model
         self.cascade = ExitCascade.for_model(model, thresholds, compile=compile)
+        self.workers = workers
+        self.backend = backend
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._worker_plans: List[object] = []
+        if backend == "thread":
+            from ..compile import compile_ddnn
+
+            # One private plan bundle per worker thread: disjoint buffer
+            # arenas, so concurrent forwards never share mutable state.
+            self._worker_plans = [compile_ddnn(model) for _ in range(workers)]
+            self._executor = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-server"
+            )
         self.clock = clock
         self.policy = policy if policy is not None else BatchingPolicy()
         self.retention = stats_window if retention is None else retention
@@ -245,10 +293,42 @@ class DDNNServer:
         return self.process_batch(batch)
 
     def run_until_drained(self) -> List[InferenceResponse]:
-        """Serve micro-batches until the queue is empty."""
+        """Serve micro-batches until the queue is empty.
+
+        On the thread backend, drained micro-batches are routed
+        concurrently — up to ``workers`` at a time, each on its own plan
+        bundle — and delivered (sessions, outboxes, stats) on the calling
+        thread as they finish.  Responses are therefore in completion
+        order, which may differ from submission order; exit decisions are
+        unaffected.
+        """
+        if self._executor is None:
+            responses: List[InferenceResponse] = []
+            while len(self.queue) > 0:
+                responses.extend(self.step(force=True))
+            return responses
+        return self._drain_parallel()
+
+    def _drain_parallel(self) -> List[InferenceResponse]:
         responses: List[InferenceResponse] = []
-        while len(self.queue) > 0:
-            responses.extend(self.step(force=True))
+        idle_plans = list(self._worker_plans)
+        pending: Dict[object, tuple] = {}
+        while len(self.queue) > 0 or pending:
+            while idle_plans and len(self.queue) > 0:
+                batch = self.batcher.next_batch(force=True)
+                if not batch:
+                    break
+                plan = idle_plans.pop()
+                views = np.stack([request.views for request in batch])
+                future = self._executor.submit(self._route_compiled, plan, views)
+                pending[future] = (batch, plan)
+            if not pending:
+                break
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                batch, plan = pending.pop(future)
+                idle_plans.append(plan)
+                responses.extend(self._deliver(batch, future.result()))
         return responses
 
     def serve_dataset(
@@ -296,10 +376,40 @@ class DDNNServer:
         Public so external schedulers (e.g. the open-loop load generator)
         can control *when* a batch runs while reusing the exact serving
         path: completion stamps, per-exit routing, session delivery and
-        rolling stats.
+        rolling stats.  A single batch always runs on the calling thread
+        (on worker bundle 0 under the thread backend); concurrency lives in
+        :meth:`run_until_drained`.
         """
         views = np.stack([request.views for request in batch])
-        routed = self.cascade.run_model(self.model, views, batch_size=len(batch))
+        if self._worker_plans:
+            routed = self._route_compiled(self._worker_plans[0], views)
+        else:
+            routed = self.cascade.run_model(self.model, views, batch_size=len(batch))
+        return self._deliver(batch, routed)
+
+    def _route_compiled(self, plan, views: np.ndarray):
+        """Route one stacked batch through a private compiled plan bundle.
+
+        Thread-safe by construction: the plan's buffer arena belongs to one
+        worker, the forward touches no Tensor/autograd state (so no
+        ``no_grad`` toggling), and the returned
+        :class:`~repro.core.cascade.CascadeRouter` exposes the same
+        ``predictions`` / ``exit_indices`` / ``entropies`` arrays
+        :meth:`_deliver` reads from an eager ``CascadeResult``.
+        """
+        output = plan(views)
+        router = self.cascade.router(len(views))
+        for logits in output.exit_logits:
+            router.offer(logits)
+        return router
+
+    def _deliver(self, batch: List[InferenceRequest], routed) -> List[InferenceResponse]:
+        """Stamp, route per exit, deliver to sessions, record stats.
+
+        Always runs on the calling thread — sessions, outboxes and the
+        rolling stats window are plain deques, so delivery is the
+        single-threaded half of the serving path in every backend.
+        """
         completion_time = self.clock()
         responses: List[InferenceResponse] = []
         for row, request in enumerate(batch):
@@ -321,3 +431,16 @@ class DDNNServer:
             responses.append(response)
         self.stats.observe_batch(responses)
         return responses
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Shut down the worker executor (thread backend); idempotent."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "DDNNServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

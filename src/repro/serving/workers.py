@@ -1,0 +1,226 @@
+"""Pluggable worker-pool backends for the serving layers.
+
+The fabric's :class:`~repro.serving.fabric.TierServer` (and the single-tier
+:class:`~repro.serving.server.DDNNServer`) describe *what* a worker does —
+run a batch through a tier section or the cascade, then hand the result to a
+completion callback.  *How* that work occupies time is the pool's job, and
+there are two answers:
+
+* :class:`SimulatedWorkerPool` — the deterministic discrete-event slots the
+  paper-table replays use: the batch is computed inline at dispatch, the
+  worker is marked busy for the *modelled* service time, and the completion
+  fires as a simulated-time event.  Semantics (event order, timestamps,
+  results) are byte-identical to the pre-pool fabric.
+* :class:`ThreadPoolWorkerPool` — real concurrency: each worker slot owns a
+  thread on a :class:`~concurrent.futures.ThreadPoolExecutor` plus its own
+  compiled plan bundle (disjoint buffer arenas), the batch runs on the
+  worker thread while the event loop keeps dispatching, and the completion
+  is posted back to the loop when the forward *actually* finishes.  Against
+  a :class:`~repro.serving.clock.WallClock` this turns the fabric's
+  throughput into a wall-clock number — numpy's GEMM kernels release the
+  GIL, so compiled forwards on separate threads genuinely overlap.
+
+Both pools present the same four-method surface (:meth:`WorkerPool.acquire`
+/ :meth:`~WorkerPool.execute` / :meth:`~WorkerPool.release` /
+:meth:`~WorkerPool.shutdown`), so the fabric script that replays a paper
+table is the same script that serves concurrently — only the clock/pool
+pair changes.
+"""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from .clock import EventLoop
+
+__all__ = [
+    "WorkerHandle",
+    "WorkerPool",
+    "SimulatedWorkerPool",
+    "ThreadPoolWorkerPool",
+    "WORKER_POOL_BACKENDS",
+    "make_worker_pool",
+]
+
+#: Task given to a worker: receives the worker's plan bundle, returns the
+#: processed result (a section's ``TierResult`` or the cascade's routing).
+WorkerTask = Callable[[object], object]
+#: Maps a task's result to its modelled service time (simulated pools only).
+ServiceFor = Callable[[object], float]
+#: Completion callback: ``on_complete(result, fire_time)`` on the loop thread.
+OnComplete = Callable[[object, float], None]
+
+
+@dataclass
+class WorkerHandle:
+    """One worker slot: occupancy bookkeeping plus its private plan bundle."""
+
+    index: int
+    busy_until: float = 0.0
+    plans: object = None  # per-worker CompiledDDNN bundle (compile=True only)
+
+
+class WorkerPool:
+    """Occupancy-tracked worker slots feeding completions to an event loop."""
+
+    backend = "abstract"
+
+    def __init__(
+        self,
+        events: EventLoop,
+        num_workers: int,
+        worker_plans: Optional[Sequence[object]] = None,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        plans = list(worker_plans) if worker_plans is not None else [None] * num_workers
+        if len(plans) != num_workers:
+            raise ValueError("worker_plans must provide one bundle per worker")
+        self.events = events
+        self.workers: List[WorkerHandle] = [
+            WorkerHandle(index, plans=plan) for index, plan in enumerate(plans)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.workers)
+
+    def acquire(self, now: float) -> Optional[WorkerHandle]:
+        """The first worker free at ``now``, or ``None`` (does not mark busy;
+        :meth:`execute` does)."""
+        for worker in self.workers:
+            if worker.busy_until <= now:
+                return worker
+        return None
+
+    def execute(
+        self,
+        worker: WorkerHandle,
+        task: WorkerTask,
+        service_for: ServiceFor,
+        on_complete: OnComplete,
+    ) -> None:
+        """Occupy ``worker`` with ``task(worker.plans)`` and arrange for
+        ``on_complete(result, fire_time)`` to run on the loop when done."""
+        raise NotImplementedError
+
+    def release(self, worker: WorkerHandle, now: float) -> None:
+        """Return ``worker`` to the free list as of ``now``."""
+        worker.busy_until = now
+
+    def shutdown(self) -> None:
+        """Release any OS resources (threads); idempotent."""
+
+
+class SimulatedWorkerPool(WorkerPool):
+    """Deterministic discrete-event slots — the paper-table default.
+
+    The task runs inline at dispatch time (on the loop thread), the worker
+    is busy for the *modelled* service time, and the completion fires as a
+    simulated-time event — exactly the pre-pool fabric behaviour, event for
+    event.
+    """
+
+    backend = "simulated"
+
+    def execute(
+        self,
+        worker: WorkerHandle,
+        task: WorkerTask,
+        service_for: ServiceFor,
+        on_complete: OnComplete,
+    ) -> None:
+        result = task(worker.plans)
+        service = service_for(result)
+        worker.busy_until = self.events.clock.now + service
+        self.events.schedule(
+            worker.busy_until,
+            lambda fire_time, r=result: on_complete(r, fire_time),
+        )
+
+
+class ThreadPoolWorkerPool(WorkerPool):
+    """Real thread-pool workers against a wall clock.
+
+    Each worker slot maps to one executor thread running compiled forwards
+    on its private plan bundle; the modelled service time is ignored — the
+    completion is posted back to the event loop when the computation
+    *actually* finishes, and the loop's in-flight accounting keeps ``run()``
+    alive until it lands.  A task that raises on the worker thread re-raises
+    on the loop thread (wrapped in :class:`RuntimeError`), so failures
+    surface instead of deadlocking the drain.
+    """
+
+    backend = "thread"
+
+    def __init__(
+        self,
+        events: EventLoop,
+        num_workers: int,
+        worker_plans: Optional[Sequence[object]] = None,
+        name: str = "worker",
+    ) -> None:
+        super().__init__(events, num_workers, worker_plans)
+        self._executor = ThreadPoolExecutor(
+            max_workers=num_workers, thread_name_prefix=f"repro-{name}"
+        )
+        self._closed = False
+
+    def execute(
+        self,
+        worker: WorkerHandle,
+        task: WorkerTask,
+        service_for: ServiceFor,
+        on_complete: OnComplete,
+    ) -> None:
+        worker.busy_until = math.inf  # busy until the real completion lands
+        self.events.begin_inflight()
+        future = self._executor.submit(task, worker.plans)
+
+        def _done(future) -> None:
+            try:
+                try:
+                    result = future.result()
+                except BaseException as exc:
+
+                    def _reraise(fire_time: float, exc: BaseException = exc) -> None:
+                        raise RuntimeError(
+                            f"worker {worker.index} task failed: {exc!r}"
+                        ) from exc
+
+                    self.events.post(_reraise)
+                else:
+                    self.events.post(
+                        lambda fire_time, r=result: on_complete(r, fire_time)
+                    )
+            finally:
+                self.events.end_inflight()
+
+        future.add_done_callback(_done)
+
+    def shutdown(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._executor.shutdown(wait=True)
+
+
+WORKER_POOL_BACKENDS = ("simulated", "thread")
+
+
+def make_worker_pool(
+    backend: str,
+    events: EventLoop,
+    num_workers: int,
+    worker_plans: Optional[Sequence[object]] = None,
+    name: str = "worker",
+) -> WorkerPool:
+    """Build the named pool backend over ``events``."""
+    if backend == "simulated":
+        return SimulatedWorkerPool(events, num_workers, worker_plans)
+    if backend == "thread":
+        return ThreadPoolWorkerPool(events, num_workers, worker_plans, name=name)
+    raise ValueError(
+        f"unknown worker-pool backend '{backend}' (choose from {WORKER_POOL_BACKENDS})"
+    )

@@ -1,0 +1,296 @@
+"""Tests for the real thread-pool worker backend behind the serving fabric.
+
+Covers the wall clock and realtime event loop, the worker-pool backends'
+routing equivalence (thread vs simulated, server and fabric, several worker
+counts), the constructor validation around backend/compile/clock choices,
+and thread-safety of the process-wide compiled-plan cache and the
+experiment harness's oracle memo under concurrent hammering.
+
+Equivalence is asserted on predictions and exit indices byte-for-byte;
+entropy floats are compared with a tight tolerance instead, because real
+arrival timing changes which requests share an upper-tier batch and BLAS
+kernels pick shape-dependent summation orders — per-row logits wobble by a
+few ULPs across batch compositions without ever moving a decision.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.compile.cache import cached_plan_count, compiled_plan_for, invalidate_plan
+from repro.core import DDNNTrainer, TrainingConfig, build_ddnn
+from repro.experiments import capture_oracle, ci_scale, get_dataset
+from repro.hierarchy import partition_ddnn
+from repro.serving import (
+    BatchingPolicy,
+    DDNNServer,
+    DistributedServingFabric,
+    EventLoop,
+    SimulatedClock,
+    SimulatedWorkerPool,
+    ThreadPoolWorkerPool,
+    WallClock,
+    make_worker_pool,
+)
+
+
+def _routing(responses):
+    responses = sorted(responses, key=lambda r: r.request_id)
+    return (
+        np.array([r.prediction for r in responses]),
+        np.array([r.exit_index for r in responses]),
+        np.array([r.entropy for r in responses]),
+    )
+
+
+class TestWallClock:
+    def test_now_tracks_real_time(self):
+        clock = WallClock()
+        first = clock.now
+        time.sleep(0.01)
+        assert clock.now > first
+        assert clock() >= clock.now or clock() > first  # callable alias
+
+    def test_advance_to_is_a_no_op(self):
+        clock = WallClock()
+        clock.advance_to(clock.now + 1e6)
+        assert clock.now < 1e6
+
+
+class TestRealtimeEventLoop:
+    def test_waits_for_due_time_and_fires_in_order(self):
+        loop = EventLoop(WallClock())
+        fired = []
+        start = loop.clock.now
+        loop.schedule(start + 0.03, lambda t: fired.append(("b", t)))
+        loop.schedule(start + 0.01, lambda t: fired.append(("a", t)))
+        loop.run()
+        assert [name for name, _ in fired] == ["a", "b"]
+        # The loop really waited for the due times instead of warping.
+        assert fired[-1][1] - start >= 0.03 - 1e-3
+
+    def test_inflight_keeps_loop_alive_until_completion_posted(self):
+        loop = EventLoop(WallClock())
+        fired = []
+        loop.begin_inflight()
+
+        def worker():
+            time.sleep(0.03)
+            loop.post(lambda t: fired.append(t))
+            loop.end_inflight()
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        loop.run()  # must not return before the posted completion fires
+        thread.join()
+        assert len(fired) == 1
+
+    def test_unmatched_end_inflight_raises(self):
+        loop = EventLoop(WallClock())
+        with pytest.raises(RuntimeError):
+            loop.end_inflight()
+
+
+class TestWorkerPoolFactory:
+    def test_backends(self):
+        events = EventLoop()
+        pool = make_worker_pool("simulated", events, 2, None, name="dev")
+        assert isinstance(pool, SimulatedWorkerPool)
+        assert len(pool.workers) == 2
+        realtime = EventLoop(WallClock())
+        thread_pool = make_worker_pool(
+            "thread", realtime, 2, [object(), object()], name="dev"
+        )
+        try:
+            assert isinstance(thread_pool, ThreadPoolWorkerPool)
+        finally:
+            thread_pool.shutdown()
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            make_worker_pool("fork", EventLoop(), 1, None, name="dev")
+
+
+class TestThreadBackendEquivalence:
+    @pytest.fixture(scope="class")
+    def reference(self, trained_ddnn, tiny_test):
+        """Simulated compiled fabric routing — the deterministic baseline."""
+        fabric = DistributedServingFabric(
+            partition_ddnn(trained_ddnn),
+            0.8,
+            workers_per_tier=2,
+            batching=BatchingPolicy(max_batch_size=4),
+            compile=True,
+        )
+        with fabric:
+            return _routing(fabric.serve_dataset(tiny_test))
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_fabric_thread_backend_matches_simulated(
+        self, trained_ddnn, tiny_test, reference, workers
+    ):
+        fabric = DistributedServingFabric(
+            partition_ddnn(trained_ddnn),
+            0.8,
+            workers_per_tier=workers,
+            batching=BatchingPolicy(max_batch_size=4),
+            compile=True,
+            backend="thread",
+        )
+        with fabric:
+            predictions, exits, entropies = _routing(fabric.serve_dataset(tiny_test))
+        ref_predictions, ref_exits, ref_entropies = reference
+        np.testing.assert_array_equal(predictions, ref_predictions)
+        np.testing.assert_array_equal(exits, ref_exits)
+        np.testing.assert_allclose(entropies, ref_entropies, rtol=0, atol=1e-9)
+
+    def test_server_thread_backend_matches_sequential(self, trained_ddnn, tiny_test):
+        with DDNNServer(trained_ddnn, 0.8, compile=True) as sequential:
+            ref = _routing(sequential.serve_dataset(tiny_test))
+        with DDNNServer(
+            trained_ddnn, 0.8, compile=True, workers=3, backend="thread"
+        ) as server:
+            got = _routing(server.serve_dataset(tiny_test))
+        np.testing.assert_array_equal(got[0], ref[0])
+        np.testing.assert_array_equal(got[1], ref[1])
+        np.testing.assert_allclose(got[2], ref[2], rtol=0, atol=1e-9)
+
+
+class TestBackendValidation:
+    def test_fabric_thread_requires_compile(self, trained_ddnn):
+        with pytest.raises(ValueError, match="compile"):
+            DistributedServingFabric(
+                partition_ddnn(trained_ddnn), 0.8, backend="thread"
+            )
+
+    def test_fabric_thread_rejects_simulated_clock(self, trained_ddnn):
+        with pytest.raises(ValueError, match="clock"):
+            DistributedServingFabric(
+                partition_ddnn(trained_ddnn),
+                0.8,
+                compile=True,
+                backend="thread",
+                clock=SimulatedClock(),
+            )
+
+    def test_fabric_unknown_backend(self, trained_ddnn):
+        with pytest.raises(ValueError, match="backend"):
+            DistributedServingFabric(
+                partition_ddnn(trained_ddnn), 0.8, backend="multiprocess"
+            )
+
+    def test_server_multiworker_requires_thread_backend(self, trained_ddnn):
+        with pytest.raises(ValueError, match="thread"):
+            DDNNServer(trained_ddnn, 0.8, compile=True, workers=2)
+
+    def test_server_thread_requires_compile(self, trained_ddnn):
+        with pytest.raises(ValueError, match="compile"):
+            DDNNServer(trained_ddnn, 0.8, workers=2, backend="thread")
+
+    def test_server_worker_count_positive(self, trained_ddnn):
+        with pytest.raises(ValueError, match="workers"):
+            DDNNServer(trained_ddnn, 0.8, compile=True, workers=0, backend="thread")
+
+
+class TestPlanCacheConcurrency:
+    def test_threads_hammering_cache_during_invalidation(
+        self, untrained_ddnn, tiny_train, tiny_test
+    ):
+        """N reader threads fetch and run compiled plans while the trainer
+        invalidates the cache entry after every epoch — no torn cache state,
+        no crash, and a fresh plan afterwards routes like a clean compile."""
+        model = untrained_ddnn
+        model.eval()
+        views = np.stack(tiny_test.images[:2])
+        errors = []
+        stop = threading.Event()
+
+        def hammer():
+            try:
+                while not stop.is_set():
+                    plan = compiled_plan_for(model)
+                    plan(views)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        try:
+            trainer = DDNNTrainer(model, TrainingConfig(epochs=1, batch_size=32, seed=0))
+            for epoch in range(3):
+                trainer.train_epoch(tiny_train, epoch=epoch)
+                model.eval()
+                invalidate_plan(model)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        assert not errors, f"cache raced: {errors[:1]!r}"
+
+        invalidate_plan(model)
+        before = cached_plan_count()
+        fresh = compiled_plan_for(model)
+        assert compiled_plan_for(model) is fresh  # memoized again
+        assert cached_plan_count() == before + 1
+        routed_fresh = fresh(views)
+        routed_again = compiled_plan_for(model)(views)
+        for got, want in zip(routed_again.exit_logits, routed_fresh.exit_logits):
+            np.testing.assert_array_equal(got, want)
+
+    def test_concurrent_first_compile_returns_one_plan(self, trained_ddnn):
+        """A compile stampede must converge on a single cached plan."""
+        invalidate_plan(trained_ddnn)
+        plans = [None] * 8
+        barrier = threading.Barrier(len(plans))
+
+        def fetch(index):
+            barrier.wait()
+            plans[index] = compiled_plan_for(trained_ddnn)
+
+        threads = [
+            threading.Thread(target=fetch, args=(index,)) for index in range(len(plans))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(plan is not None for plan in plans)
+        # Every later lookup agrees with the cache winner.
+        winner = compiled_plan_for(trained_ddnn)
+        assert sum(1 for plan in plans if plan is winner) >= 1
+
+
+class TestOracleMemoConcurrency:
+    def test_concurrent_capture_oracle_consistent(self):
+        scale = ci_scale()
+        _, test_set = get_dataset(scale)
+        model = build_ddnn(scale.ddnn_config())
+        model.eval()
+        oracles = [None] * 6
+        barrier = threading.Barrier(len(oracles))
+
+        def capture(index):
+            barrier.wait()
+            oracles[index] = capture_oracle(model, test_set)
+
+        threads = [
+            threading.Thread(target=capture, args=(index,))
+            for index in range(len(oracles))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(oracle is not None for oracle in oracles)
+        # All captures of the same (model, dataset) agree bit-for-bit ...
+        for oracle in oracles[1:]:
+            np.testing.assert_array_equal(oracle.logits, oracles[0].logits)
+            np.testing.assert_array_equal(oracle.predictions, oracles[0].predictions)
+        # ... and once the memo is warm, lookups return the cached object.
+        warm = capture_oracle(model, test_set)
+        assert capture_oracle(model, test_set) is warm
