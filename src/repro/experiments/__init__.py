@@ -21,6 +21,7 @@ from .distributed_serving import (
     run_distributed_serving,
 )
 from .edge_hierarchy import run_edge_hierarchy
+from .elastic_serving import DEFAULT_PEAK_WORKERS, run_elastic_serving
 from .fault_tolerance import run_fault_tolerance, run_multi_device_failures
 from .mixed_precision import run_mixed_precision
 from .overload_study import (
@@ -69,6 +70,7 @@ EXPERIMENT_REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
     "compiled_forward": run_compiled_forward,
     "distributed_serving": run_distributed_serving,
     "parallel_serving": run_parallel_serving,
+    "elastic_serving": run_elastic_serving,
     "threshold_sweep_fastpath": run_sweep_fastpath,
 }
 
@@ -114,6 +116,8 @@ __all__ = [
     "run_parallel_serving",
     "DEFAULT_PARALLEL_WORKER_COUNTS",
     "available_cpu_count",
+    "run_elastic_serving",
+    "DEFAULT_PEAK_WORKERS",
     "run_sweep_fastpath",
     "DEFAULT_SWEEP_GRIDS",
     "REFERENCE_GRID",

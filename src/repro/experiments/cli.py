@@ -11,6 +11,7 @@ Usage::
     python -m repro.experiments dist-bench --workers 1 --workers 4 --offered-x 2.0
     python -m repro.experiments dist-bench --backend thread --workers 2
     python -m repro.experiments parallel-bench --workers 1 --workers 4
+    python -m repro.experiments elastic-bench --peak-workers 3
     python -m repro.experiments sweep-bench --timing-rounds 3
 
 Each experiment prints its table (the same rows the paper reports) and can
@@ -293,6 +294,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory to write the table as parallel_serving.txt",
     )
 
+    elastic_parser = subparsers.add_parser(
+        "elastic-bench",
+        help="elastic tier plane: static-vs-elastic diurnal tails + mid-run repartition identity",
+    )
+    elastic_parser.add_argument(
+        "--scale",
+        choices=("ci", "paper"),
+        default="ci",
+        help="experiment scale for the model and request stream",
+    )
+    elastic_parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.8,
+        help="local-exit entropy threshold used by the cascade",
+    )
+    elastic_parser.add_argument(
+        "--peak-workers",
+        type=int,
+        default=3,
+        help="peak worker budget per tier (static-peak count, elastic max)",
+    )
+    elastic_parser.add_argument(
+        "--num-requests",
+        type=int,
+        default=240,
+        help="diurnal arrivals per configuration",
+    )
+    elastic_parser.add_argument(
+        "--max-batch-size",
+        type=int,
+        default=4,
+        help="micro-batch ceiling of every tier's batching policy",
+    )
+    elastic_parser.add_argument(
+        "--capacity",
+        type=int,
+        default=32,
+        help="ingress queue bound used by the shed-local admission policy",
+    )
+    elastic_parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="seed for the diurnal arrival process",
+    )
+    elastic_parser.add_argument(
+        "--output-dir",
+        type=Path,
+        default=None,
+        help="directory to write the table as elastic_serving.txt",
+    )
+
     infer_parser = subparsers.add_parser(
         "infer-bench",
         help="benchmark the compiled inference fast path against the eager forward",
@@ -486,6 +540,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(
             f"cpu_count={result.metadata['cpu_count']}; wall-clock rows are "
             "machine-dependent (see metadata note)"
+        )
+        if args.output_dir is not None:
+            args.output_dir.mkdir(parents=True, exist_ok=True)
+            (args.output_dir / f"{result.name}.txt").write_text(text + "\n")
+        return 0
+
+    if args.command == "elastic-bench":
+        from .elastic_serving import run_elastic_serving
+
+        scale = paper_scale() if args.scale == "paper" else ci_scale()
+        result = run_elastic_serving(
+            scale,
+            threshold=args.threshold,
+            peak_workers=args.peak_workers,
+            num_requests=args.num_requests,
+            max_batch_size=args.max_batch_size,
+            capacity=args.capacity,
+            seed=args.seed,
+        )
+        text = result.to_text()
+        print(text)
+        print(
+            f"elastic trajectory ({len(result.metadata['elastic_trajectory'])} "
+            f"scale events): {result.metadata['elastic_trajectory']}"
         )
         if args.output_dir is not None:
             args.output_dir.mkdir(parents=True, exist_ok=True)

@@ -8,7 +8,12 @@ bandwidth-constrained wireless network).  It provides:
   :class:`CloudComputeNode`, :class:`AggregatorNode`) holding the DDNN
   sections mapped onto them;
 * a :class:`NetworkFabric` of links with byte and latency accounting;
-* :func:`partition_ddnn` to map a trained DDNN onto nodes and links;
+* :func:`partition_ddnn` to map a trained DDNN onto nodes and links, now a
+  thin shim over :class:`PartitionPlan` — a first-class mutable description
+  of the mapping (section boundary per tier, node/link specs, worker
+  counts, autoscale watermarks, replicas) that
+  :meth:`~repro.serving.fabric.DistributedServingFabric.apply_plan` can
+  swap onto a live fabric;
 * :class:`HierarchyRuntime` which executes the paper's staged inference
   procedure over the simulated deployment;
 * fault injection (:class:`FaultPlan`) and per-sample telemetry.
@@ -34,6 +39,7 @@ from .partition import (
     LinkSpec,
     partition_ddnn,
 )
+from .plan import AutoscalePolicy, PartitionPlan
 from .runtime import DistributedInferenceResult, HierarchyRuntime
 from .sections import (
     CloudTierSection,
@@ -60,6 +66,8 @@ __all__ = [
     "LinkSpec",
     "HierarchyDeployment",
     "partition_ddnn",
+    "PartitionPlan",
+    "AutoscalePolicy",
     "LOCAL_AGGREGATOR_NAME",
     "CLOUD_NAME",
     "DEFAULT_LOCAL_LINK",

@@ -30,6 +30,20 @@ class LinkSpec:
     bandwidth_bytes_per_s: float
     latency_s: float
 
+    def connect(self, fabric: NetworkFabric, source: str, destination: str):
+        """Create and register a link with this spec's parameters."""
+        return fabric.connect(
+            source,
+            destination,
+            bandwidth_bytes_per_s=self.bandwidth_bytes_per_s,
+            latency_s=self.latency_s,
+        )
+
+    def retune(self, link) -> None:
+        """Point an existing link at this spec's parameters (stats stay)."""
+        link.bandwidth_bytes_per_s = self.bandwidth_bytes_per_s
+        link.latency_s = self.latency_s
+
 
 #: Device -> gateway: a short-range local link.
 DEFAULT_LOCAL_LINK = LinkSpec(bandwidth_bytes_per_s=1_000_000.0, latency_s=0.002)
@@ -50,23 +64,27 @@ class HierarchyDeployment:
     cloud: CloudComputeNode
     fabric: NetworkFabric
 
+    def __post_init__(self) -> None:
+        self._nodes_by_name: Dict[str, object] = {}
+        for device in self.devices:
+            self._nodes_by_name[device.name] = device
+        for edge in self.edges:
+            self._nodes_by_name[edge.name] = edge
+        if self.local_aggregator is not None:
+            self._nodes_by_name[self.local_aggregator.name] = self.local_aggregator
+        self._nodes_by_name[self.cloud.name] = self.cloud
+
     @property
     def device_names(self) -> List[str]:
         return [device.name for device in self.devices]
 
     def node_by_name(self, name: str):
-        """Look up any node by its name."""
-        for device in self.devices:
-            if device.name == name:
-                return device
-        for edge in self.edges:
-            if edge.name == name:
-                return edge
-        if self.local_aggregator is not None and self.local_aggregator.name == name:
-            return self.local_aggregator
-        if self.cloud.name == name:
-            return self.cloud
-        raise KeyError(f"no node named '{name}'")
+        """Look up any node by its name (dict-backed, built once)."""
+        try:
+            return self._nodes_by_name[name]
+        except KeyError:
+            known = ", ".join(sorted(self._nodes_by_name))
+            raise KeyError(f"no node named '{name}' (known nodes: {known})") from None
 
     def reset(self) -> None:
         """Clear all traffic and compute statistics."""
@@ -124,72 +142,21 @@ def partition_ddnn(
 ) -> HierarchyDeployment:
     """Create nodes and links for a trained DDNN.
 
-    The model is *shared*, not copied: the simulator nodes hold references to
-    the DDNN's sections, so the deployment always reflects the trained
-    parameters.
+    Thin shim over :meth:`~repro.hierarchy.plan.PartitionPlan.materialize`
+    with a default (model-shaped) section boundary — kept so every existing
+    call site and paper table reproduces byte-identically.  The model is
+    *shared*, not copied: the simulator nodes hold references to the DDNN's
+    sections, so the deployment always reflects the trained parameters.
     """
-    fabric = NetworkFabric()
+    from .plan import PartitionPlan
 
-    devices = [
-        EndDeviceNode(f"device-{index}", branch, ops_per_second=device_ops_per_second)
-        for index, branch in enumerate(model.device_branches)
-    ]
-
-    local_aggregator = None
-    if model.has_local_exit:
-        local_aggregator = AggregatorNode(LOCAL_AGGREGATOR_NAME, model.local_aggregator)
-        for device in devices:
-            fabric.connect(
-                device.name,
-                LOCAL_AGGREGATOR_NAME,
-                bandwidth_bytes_per_s=local_link.bandwidth_bytes_per_s,
-                latency_s=local_link.latency_s,
-            )
-
-    edges: List[EdgeComputeNode] = []
-    if model.has_edge:
-        for edge_index, (aggregator, edge_model, group) in enumerate(
-            zip(model._edge_aggregators, model.edge_models, model.edge_device_groups)
-        ):
-            edge = EdgeComputeNode(
-                f"edge-{edge_index}",
-                aggregator,
-                edge_model,
-                device_indices=group,
-                ops_per_second=edge_ops_per_second,
-            )
-            edges.append(edge)
-            for device_index in group:
-                fabric.connect(
-                    devices[device_index].name,
-                    edge.name,
-                    bandwidth_bytes_per_s=edge_link.bandwidth_bytes_per_s,
-                    latency_s=edge_link.latency_s,
-                )
-            fabric.connect(
-                edge.name,
-                CLOUD_NAME,
-                bandwidth_bytes_per_s=uplink.bandwidth_bytes_per_s,
-                latency_s=uplink.latency_s,
-            )
-    else:
-        for device in devices:
-            fabric.connect(
-                device.name,
-                CLOUD_NAME,
-                bandwidth_bytes_per_s=uplink.bandwidth_bytes_per_s,
-                latency_s=uplink.latency_s,
-            )
-
-    cloud = CloudComputeNode(
-        CLOUD_NAME, model.cloud_aggregator, model.cloud, ops_per_second=cloud_ops_per_second
-    )
-
-    return HierarchyDeployment(
+    plan = PartitionPlan(
         model=model,
-        devices=devices,
-        local_aggregator=local_aggregator,
-        edges=edges,
-        cloud=cloud,
-        fabric=fabric,
+        local_link=local_link,
+        uplink=uplink,
+        edge_link=edge_link,
+        device_ops_per_second=device_ops_per_second,
+        edge_ops_per_second=edge_ops_per_second,
+        cloud_ops_per_second=cloud_ops_per_second,
     )
+    return plan.materialize()

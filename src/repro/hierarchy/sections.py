@@ -277,12 +277,12 @@ class EdgeTierSection(TierSection):
     def __init__(
         self,
         deployment: HierarchyDeployment,
-        exit_index: int,
+        exit_index: Optional[int],
         compiled=None,
     ) -> None:
         self.deployment = deployment
         self.exit_index = exit_index
-        self.exit_name = "edge"
+        self.exit_name = "edge" if exit_index is not None else ""
         #: Optional runtime-level CompiledDDNN whose edge_exit_aggregator is
         #: used when no per-worker plan bundle is supplied.
         self.compiled = compiled
@@ -302,7 +302,13 @@ class EdgeTierSection(TierSection):
             edge_logit_list.append(logits)
             edge_seconds[edge_index] = seconds
 
-        logits = self._fuse_exit_logits(edge_logit_list, plans)
+        # An exit-less edge tier (boundary moved up) skips the exit-logit
+        # fusion entirely — features still flow to the cloud unchanged.
+        logits = (
+            self._fuse_exit_logits(edge_logit_list, plans)
+            if self.exit_index is not None
+            else None
+        )
         per_sample = float(edge_seconds.max(initial=0.0)) / max(batch, 1)
         return SectionResult(
             logits=logits,
@@ -407,23 +413,39 @@ def build_tier_sections(
     deployment: HierarchyDeployment,
     fault_plan: Optional[FaultPlan] = None,
     compiled=None,
+    plan=None,
 ) -> List[TierSection]:
     """Decompose a deployment into its cascade tiers, in exit order.
 
     ``compiled`` is an optional :class:`~repro.compile.CompiledDDNN` used for
     the edge-exit fusion when the deployment's nodes run attached compiled
     sections (the :class:`HierarchyRuntime` compile path).
+
+    ``plan`` is an optional :class:`~repro.hierarchy.plan.PartitionPlan`
+    that places the section boundary: a tier whose exit the plan disables
+    gets ``exit_index=None`` (its traffic offloads wholesale).  Exit
+    *indices* always follow the model's exit numbering — the cascade's
+    criteria are indexed by the model's exits regardless of which tiers
+    currently evaluate them — so a boundary move never renumbers the exits
+    queued requests will be judged against.  Without a plan the boundary
+    follows the model's structure (the historical behaviour).
     """
     model = deployment.model
+    if plan is not None and plan.model is not model:
+        raise ValueError("plan.model must be the deployment's model")
+    local_exit = model.has_local_exit if plan is None else plan.resolved_local_exit()
+    edge_exit = model.has_edge if plan is None else plan.resolved_edge_exit()
     sections: List[TierSection] = []
     next_exit = 0
     if model.has_local_exit:
-        sections.append(DeviceTierSection(deployment, fault_plan, exit_index=next_exit))
+        local_index: Optional[int] = next_exit if local_exit else None
         next_exit += 1
     else:
-        sections.append(DeviceTierSection(deployment, fault_plan, exit_index=None))
+        local_index = None
+    sections.append(DeviceTierSection(deployment, fault_plan, exit_index=local_index))
     if model.has_edge:
-        sections.append(EdgeTierSection(deployment, exit_index=next_exit, compiled=compiled))
+        edge_index: Optional[int] = next_exit if edge_exit else None
         next_exit += 1
+        sections.append(EdgeTierSection(deployment, exit_index=edge_index, compiled=compiled))
     sections.append(CloudTierSection(deployment, exit_index=next_exit))
     return sections

@@ -17,8 +17,9 @@ the hard tail.  This package provides the online counterpart of the offline
 * :class:`ServerStats` — rolling throughput / latency / exit-rate
   telemetry with pinned window semantics;
 * :class:`LoadGenerator` + arrival processes (:class:`PoissonProcess`,
-  :class:`BurstyProcess`, :class:`TraceReplay`) and :class:`ServiceModel` —
-  deterministic open-loop overload studies on a :class:`SimulatedClock`;
+  :class:`BurstyProcess`, :class:`DiurnalProcess`, :class:`TraceReplay`)
+  and :class:`ServiceModel` — deterministic open-loop overload studies on
+  a :class:`SimulatedClock`;
 * :class:`DistributedServingFabric` — the tier-aware distributed runtime:
   an :class:`EventLoop`-driven fabric of :class:`TierServer`s (N workers
   per tier, per-worker compiled plans) where offloads cross
@@ -32,6 +33,13 @@ the hard tail.  This package provides the online counterpart of the offline
   :class:`~concurrent.futures.ThreadPoolExecutor` threads running
   per-worker compiled plan bundles against a :class:`WallClock`, turning
   the same serving script into a wall-clock-concurrent server.
+* The elastic tier plane: fabrics built from a mutable
+  :class:`~repro.hierarchy.plan.PartitionPlan`
+  (:meth:`DistributedServingFabric.from_plan`), re-partitioned live via
+  :meth:`~DistributedServingFabric.apply_plan` (drain-and-handoff,
+  :class:`RepartitionReport`), scaled by an :class:`Autoscaler` driven by
+  :class:`~repro.hierarchy.plan.AutoscalePolicy` watermarks, and
+  replicated behind a :class:`LoadBalancer`.
 
 All timing flows through an injectable clock, so scheduling behaviour is
 deterministic under test while real deployments use wall time.
@@ -51,6 +59,8 @@ from .admission import (
     TokenBucketPolicy,
     admission_policy,
 )
+from .autoscale import Autoscaler, RateTracker
+from .balancer import BALANCER_STRATEGIES, LoadBalancer
 from .batcher import BatchingPolicy, MicroBatcher
 from .clock import EventLoop, SimulatedClock, WallClock
 from .fabric import (
@@ -59,11 +69,13 @@ from .fabric import (
     FabricReport,
     FabricRequest,
     FabricResponse,
+    RepartitionReport,
     TierServer,
 )
 from .loadgen import (
     ArrivalProcess,
     BurstyProcess,
+    DiurnalProcess,
     LoadGenerator,
     LoadReport,
     PoissonProcess,
@@ -118,10 +130,16 @@ __all__ = [
     "FabricRequest",
     "FabricResponse",
     "FabricReport",
+    "RepartitionReport",
     "TierServer",
+    "Autoscaler",
+    "RateTracker",
+    "LoadBalancer",
+    "BALANCER_STRATEGIES",
     "ArrivalProcess",
     "PoissonProcess",
     "BurstyProcess",
+    "DiurnalProcess",
     "TraceReplay",
     "ServiceModel",
     "LoadGenerator",

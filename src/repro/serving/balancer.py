@@ -1,0 +1,150 @@
+"""Load balancing across replicated tier stacks.
+
+A :class:`~repro.hierarchy.plan.PartitionPlan` with ``replicas > 1``
+describes several identical device→[edge]→cloud stacks serving the same
+trained model.  :class:`LoadBalancer` stamps those stacks out (one
+:class:`~repro.serving.fabric.DistributedServingFabric` per replica, each
+over its own freshly-materialised deployment — the *model* is shared, the
+simulator state is not) and routes incoming work across them:
+
+* ``"round-robin"`` — strict rotation, oblivious to load;
+* ``"least-loaded"`` — each submission goes to the replica with the
+  smallest outstanding load (submitted but unanswered requests: queued,
+  in-flight, or still on a scheduled arrival event), ties broken by lowest
+  replica index so routing is deterministic.
+
+Replicas are independent discrete-event simulations; the balancer only
+decides *where* work enters.  ``run_until_idle`` drains every replica and
+merges their responses.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.cascade import Thresholds
+from ..hierarchy.plan import PartitionPlan
+from .fabric import DistributedServingFabric, FabricResponse
+
+__all__ = ["LoadBalancer", "BALANCER_STRATEGIES"]
+
+BALANCER_STRATEGIES = ("round-robin", "least-loaded")
+
+
+class LoadBalancer:
+    """Route submissions across replica fabrics serving the same model."""
+
+    def __init__(
+        self,
+        replicas: Sequence[DistributedServingFabric],
+        strategy: str = "round-robin",
+    ) -> None:
+        if not replicas:
+            raise ValueError("at least one replica fabric is required")
+        if strategy not in BALANCER_STRATEGIES:
+            raise ValueError(
+                f"unknown strategy '{strategy}' (choose from {BALANCER_STRATEGIES})"
+            )
+        self.replicas = list(replicas)
+        self.strategy = strategy
+        #: Submissions routed to each replica, by index.
+        self.assignments: List[int] = [0] * len(self.replicas)
+        self._cursor = 0
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_plan(
+        cls,
+        plan: PartitionPlan,
+        thresholds: Thresholds,
+        strategy: str = "round-robin",
+        **kwargs,
+    ) -> "LoadBalancer":
+        """Stamp out ``plan.replicas`` identical fabrics and balance them.
+
+        Each replica materialises its own deployment from the plan (shared
+        model, private nodes/links/queues); keyword arguments are forwarded
+        to every :meth:`DistributedServingFabric.from_plan` call.
+        """
+        fabrics = [
+            DistributedServingFabric.from_plan(plan, thresholds, **kwargs)
+            for _ in range(plan.replicas)
+        ]
+        return cls(fabrics, strategy=strategy)
+
+    # ------------------------------------------------------------------ #
+    def _depth(self, fabric: DistributedServingFabric) -> int:
+        # Outstanding = everything submitted that has not been answered or
+        # turned away.  Counting from the submission side (rather than the
+        # tier queues) makes least-loaded meaningful in simulated time too,
+        # where arrivals sit on scheduled events until the loop runs.
+        stats = fabric.admission_stats
+        return (
+            fabric.offered
+            - len(fabric.responses)
+            - stats.rejected
+            - stats.dropped
+        )
+
+    def pick(self) -> int:
+        """The replica index the next submission will be routed to."""
+        if self.strategy == "round-robin":
+            return self._cursor % len(self.replicas)
+        depths = [self._depth(fabric) for fabric in self.replicas]
+        return int(np.argmin(depths))  # argmin takes the lowest index on ties
+
+    def submit(
+        self,
+        views: np.ndarray,
+        client_id: str = "default",
+        target: Optional[int] = None,
+        at: Optional[float] = None,
+    ) -> Tuple[int, int]:
+        """Route one sample; returns ``(replica_index, request_id)``."""
+        replica, ids = self.submit_many(
+            [views], client_id=client_id, targets=[target], at=at
+        )
+        return replica, ids[0]
+
+    def submit_many(
+        self,
+        views_list: Sequence[np.ndarray],
+        client_id: str = "default",
+        targets: Optional[Sequence[Optional[int]]] = None,
+        at: Optional[float] = None,
+    ) -> Tuple[int, List[int]]:
+        """Route a co-arriving group to one replica; returns its index + ids."""
+        index = self.pick()
+        ids = self.replicas[index].submit_many(
+            views_list, client_id=client_id, targets=targets, at=at
+        )
+        self.assignments[index] += len(ids)
+        self._cursor += 1
+        return index, ids
+
+    # ------------------------------------------------------------------ #
+    def run_until_idle(self, drain: bool = False) -> List[FabricResponse]:
+        """Drain every replica; responses merged in (replica, id) order."""
+        responses: List[FabricResponse] = []
+        for fabric in self.replicas:
+            responses.extend(fabric.run_until_idle(drain=drain))
+        return responses
+
+    @property
+    def responses(self) -> List[FabricResponse]:
+        merged: List[FabricResponse] = []
+        for fabric in self.replicas:
+            merged.extend(fabric.responses)
+        return merged
+
+    def close(self) -> None:
+        for fabric in self.replicas:
+            fabric.close()
+
+    def __enter__(self) -> "LoadBalancer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

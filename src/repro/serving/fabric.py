@@ -59,7 +59,15 @@ from ..core.exits import ExitCriterion
 from ..datasets.mvmc import MVMCDataset
 from ..hierarchy.network import Message, NetworkLink
 from ..hierarchy.partition import HierarchyDeployment, LinkSpec
+from ..hierarchy.plan import PartitionPlan
 from ..hierarchy.sections import TierSection, build_tier_sections, stack_rows
+from ..nn.tensor import no_grad
+from .admission import (
+    AdmissionOutcome,
+    AdmissionPolicy,
+    AdmissionStats,
+    RejectNewest,
+)
 from .batcher import BatchingPolicy
 from .clock import EventLoop, SimulatedClock, WallClock
 from .loadgen import ArrivalProcess, ServiceModel
@@ -75,6 +83,7 @@ __all__ = [
     "FabricRequest",
     "FabricResponse",
     "FabricReport",
+    "RepartitionReport",
     "TierServer",
     "DistributedServingFabric",
 ]
@@ -140,6 +149,9 @@ class FabricResponse:
     #: True when the exit decision was taken under an adaptive relaxed
     #: threshold (queue-pressure shedding).
     relaxed: bool = False
+    #: True when admission answered this request from the first exit at the
+    #: ingress instead of queueing it (bounded-queue shedding).
+    shed: bool = False
 
     @property
     def latency_s(self) -> float:
@@ -169,7 +181,28 @@ class FabricReport:
     mean_bytes: float = 0.0
     accuracy: Optional[float] = None
     relaxed_fraction: float = 0.0
+    shed_fraction: float = 0.0
     responses: List[FabricResponse] = field(default_factory=list)
+
+
+@dataclass
+class RepartitionReport:
+    """Outcome of one :meth:`DistributedServingFabric.apply_plan` handoff."""
+
+    #: Simulated/wall time the handoff executed at (after the drain barrier).
+    time: float
+    #: Queued request ids carried across the boundary move, per tier name.
+    requeued_ids: Dict[str, Tuple[int, ...]]
+    #: Worker count per tier after the handoff.
+    workers_per_tier: Dict[str, int]
+
+    @property
+    def requeued(self) -> Dict[str, int]:
+        return {name: len(ids) for name, ids in self.requeued_ids.items()}
+
+    @property
+    def total_requeued(self) -> int:
+        return sum(len(ids) for ids in self.requeued_ids.values())
 
 
 @dataclass
@@ -179,6 +212,35 @@ class _PendingItem:
     request: FabricRequest
     payload: object
     arrival_time: float
+
+
+class _IngressQueueView:
+    """The device-tier queue through an :class:`AdmissionPolicy`'s eyes.
+
+    Policies were written against :class:`~repro.serving.queue.RequestQueue`
+    and only touch its ``capacity``, ``len()``, ``clock()`` and ``admission``
+    surface; this adapter presents the fabric's tier-0 backlog the same way
+    so the whole policy registry (reject / drop-oldest / shed-local /
+    token-bucket / adaptive-shed) applies to the distributed fabric
+    unchanged.
+    """
+
+    def __init__(self, fabric: "DistributedServingFabric") -> None:
+        self._fabric = fabric
+
+    @property
+    def capacity(self) -> Optional[int]:
+        return self._fabric.capacity
+
+    @property
+    def admission(self) -> AdmissionPolicy:
+        return self._fabric.admission
+
+    def __len__(self) -> int:
+        return len(self._fabric.tiers[0].queue)
+
+    def clock(self) -> float:
+        return self._fabric.clock.now
 
 
 class TierServer:
@@ -294,7 +356,13 @@ class DistributedServingFabric:
         request_bytes: float = 0.0,
         adaptive: Optional[AdaptiveThreshold] = None,
         backend: str = "simulated",
+        capacity: Optional[int] = None,
+        admission: Optional[AdmissionPolicy] = None,
     ) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(
+                f"capacity must be >= 1 (or None for unbounded), got {capacity}"
+            )
         if backend not in WORKER_POOL_BACKENDS:
             raise ValueError(
                 f"unknown backend '{backend}' (choose from {WORKER_POOL_BACKENDS})"
@@ -316,6 +384,10 @@ class DistributedServingFabric:
                 )
         self.deployment = deployment
         self.model = deployment.model
+        # Serving is inference: batch-norm must use running statistics, or
+        # exit decisions would depend on micro-batch composition (the
+        # hierarchy runtime makes the same call before it replays a dataset).
+        self.model.eval()
         self.cascade = ExitCascade.for_model(self.model, thresholds)
         self.events = EventLoop(clock)
         self.adaptive = adaptive
@@ -343,6 +415,7 @@ class DistributedServingFabric:
 
             slots = max(int(count) if count is not None else 1 for count in workers)
             bundles = [compile_ddnn(self.model) for _ in range(slots)]
+        self._bundles = bundles
 
         self.tiers: List[TierServer] = []
         for index, section in enumerate(self.sections):
@@ -377,6 +450,22 @@ class DistributedServingFabric:
             )
         self.request_bytes = float(request_bytes)
 
+        self.capacity = capacity
+        self.admission = admission if admission is not None else RejectNewest()
+        self.admission_stats = AdmissionStats()
+        self._queue_view = _IngressQueueView(self)
+
+        #: Plan the fabric currently runs (set by :meth:`from_plan` and
+        #: :meth:`apply_plan`; ``None`` for directly-constructed fabrics).
+        self.plan: Optional[PartitionPlan] = None
+        #: Optional :class:`~repro.serving.autoscale.Autoscaler` observing
+        #: arrivals/completions (see :meth:`enable_autoscaling`).
+        self.autoscaler = None
+        self.last_repartition: Optional[RepartitionReport] = None
+        self._pending_plan: Optional[PartitionPlan] = None
+        self._paused = False
+        self._inflight_batches = 0
+
         self.responses: List[FabricResponse] = []
         self.offered = 0
         self.relaxed_samples = 0
@@ -401,6 +490,45 @@ class DistributedServingFabric:
         if len(values) != num_tiers:
             raise ValueError(f"{label} must have {num_tiers} entries, got {len(values)}")
         return values
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_plan(
+        cls,
+        plan: PartitionPlan,
+        thresholds: Thresholds,
+        deployment: Optional[HierarchyDeployment] = None,
+        **kwargs,
+    ) -> "DistributedServingFabric":
+        """Build a fabric from a :class:`~repro.hierarchy.plan.PartitionPlan`.
+
+        The plan supplies the deployment (freshly materialised unless one is
+        passed in), the section boundary, per-tier worker counts and —
+        when the plan carries :class:`~repro.hierarchy.plan.AutoscalePolicy`
+        entries — an enabled autoscaler.  Remaining keyword arguments go to
+        the constructor unchanged (batching, backend, capacity, ...).
+        """
+        if deployment is None:
+            deployment = plan.materialize()
+        elif deployment.model is not plan.model:
+            raise ValueError("deployment.model must be the plan's model")
+        if "sections" in kwargs or "workers_per_tier" in kwargs:
+            raise ValueError(
+                "from_plan derives sections and workers_per_tier from the "
+                "plan; construct the fabric directly to override them"
+            )
+        sections = build_tier_sections(deployment, plan=plan)
+        fabric = cls(
+            deployment,
+            thresholds,
+            workers_per_tier=list(plan.worker_counts()),
+            sections=sections,
+            **kwargs,
+        )
+        fabric.plan = plan
+        if plan.autoscaled:
+            fabric.enable_autoscaling(plan.autoscale_policies())
+        return fabric
 
     # ------------------------------------------------------------------ #
     def submit(
@@ -464,14 +592,32 @@ class DistributedServingFabric:
             requests.append(request)
         items = [(request, request.views) for request in requests]
         self.events.schedule(
-            when + ingress_delay, lambda now, items=items: self._arrive(0, items, now)
+            when + ingress_delay,
+            lambda now, items=items: self._arrive(0, items, now, fresh=True),
         )
         return [request.request_id for request in requests]
 
-    def _arrive(self, tier_index: int, items: Sequence[Tuple[FabricRequest, object]], now: float) -> None:
+    def _arrive(
+        self,
+        tier_index: int,
+        items: Sequence[Tuple[FabricRequest, object]],
+        now: float,
+        fresh: bool = False,
+    ) -> None:
         tier = self.tiers[tier_index]
-        for request, payload in items:
-            tier.queue.append(_PendingItem(request, payload, now))
+        if fresh:
+            # Ingress admission: only brand-new tier-0 arrivals knock;
+            # offloads from lower tiers and repartition requeues are already
+            # inside the system and bypass the policy.
+            admitted = 0
+            for request, payload in items:
+                admitted += self._admit(request, payload, now)
+        else:
+            for request, payload in items:
+                tier.queue.append(_PendingItem(request, payload, now))
+            admitted = len(items)
+        if self.autoscaler is not None and admitted:
+            self.autoscaler.observe_arrival(tier_index, now, count=admitted)
         self._dispatch(tier_index, now)
         if tier.queue and not self._draining and tier.policy.max_wait_s > 0.0:
             self.events.schedule(
@@ -479,8 +625,114 @@ class DistributedServingFabric:
                 lambda fire_time, index=tier_index: self._dispatch(index, fire_time),
             )
 
+    def _admit(self, request: FabricRequest, payload: object, now: float) -> int:
+        """Offer one fresh arrival to the bounded device-tier queue.
+
+        Mirrors :meth:`RequestQueue.offer` / :meth:`RequestQueue.requeue`
+        accounting exactly: accepted requests enqueue (evicting the head
+        under drop-oldest, counted ``dropped``), rejected ones vanish with a
+        counter, shed ones are answered immediately from the first exit —
+        and an adaptive policy's conditional shed rolls its ``shed`` count
+        back into ``accepted`` when the entropy probe forces a requeue.
+        Returns the number of requests enqueued (0 or 1).
+        """
+        queue = self.tiers[0].queue
+        full = self.capacity is not None and len(queue) >= self.capacity
+        if not full and not self.admission.pre_queue:
+            queue.append(_PendingItem(request, payload, now))
+            self.admission_stats.accepted += 1
+            return 1
+        outcome = self.admission.decide(self._queue_view, request.client_id)
+        if outcome is AdmissionOutcome.REJECTED:
+            self.admission_stats.rejected += 1
+            return 0
+        if outcome is AdmissionOutcome.SHED:
+            self.admission_stats.shed += 1
+            shed_threshold = getattr(self.admission, "shed_threshold", None)
+            if shed_threshold is not None:
+                exit_index = self._require_first_exit()
+                bound = shed_threshold(
+                    self._queue_view, self.cascade.thresholds[exit_index]
+                )
+                if self._shed_response(request, now, max_entropy=bound) is None:
+                    # Local entropy too high for a degraded answer: requeue
+                    # with the original stamps — shed rolls back into
+                    # accepted, a full queue evicts its head to make room.
+                    self.admission_stats.shed -= 1
+                    if self.capacity is not None and len(queue) >= self.capacity:
+                        queue.popleft()
+                        self.admission_stats.dropped += 1
+                    queue.append(_PendingItem(request, payload, now))
+                    self.admission_stats.accepted += 1
+                    return 1
+            else:
+                self._shed_response(request, now)
+            return 0
+        if full:
+            # ACCEPTED while full: evict the head-of-line request.
+            queue.popleft()
+            self.admission_stats.dropped += 1
+        queue.append(_PendingItem(request, payload, now))
+        self.admission_stats.accepted += 1
+        return 1
+
+    def _require_first_exit(self) -> int:
+        exit_index = self.sections[0].exit_index
+        if exit_index is None:
+            raise RuntimeError(
+                "admission wants to shed to the first exit, but the active "
+                "plan disables the device tier's exit — use a reject/"
+                "drop-oldest policy, or keep the local exit in the plan"
+            )
+        return exit_index
+
+    def _shed_response(
+        self, request: FabricRequest, now: float, max_entropy: Optional[float] = None
+    ) -> Optional[FabricResponse]:
+        """Answer a shed request from the first exit, bypassing the tiers.
+
+        Mirrors :meth:`DDNNServer._shed_to_local`: the sample is evaluated
+        through the cascade's first exit directly (compiled plan when the
+        fabric compiles, eager otherwise) with no hierarchy byte/latency
+        accounting — a shed answer is produced at the ingress, before the
+        request ever enters the tier plane.  With ``max_entropy`` set the
+        answer is only delivered when its entropy clears the bound;
+        ``None`` is returned otherwise so the caller can queue the request.
+        """
+        exit_index = self._require_first_exit()
+        self.model.eval()
+        if self.compile_enabled:
+            output = self.cascade.compiled_for(self.model)(request.views[None])
+        else:
+            with no_grad():
+                output = self.model(request.views[None])
+        decision = self.cascade.criteria[exit_index].evaluate(
+            output.exit_logits[exit_index]
+        )
+        if max_entropy is not None and float(decision.entropies[0]) > max_entropy:
+            return None
+        response = FabricResponse(
+            request_id=request.request_id,
+            client_id=request.client_id,
+            prediction=int(decision.predictions[0]),
+            exit_index=exit_index,
+            exit_name=self.sections[0].exit_name,
+            entropy=float(decision.entropies[0]),
+            target=request.target,
+            submit_time=request.submit_time,
+            completion_time=now,
+            path_latency_s=request.path_latency_s,
+            bytes_transferred=request.bytes_transferred,
+            batch_size=1,
+            shed=True,
+        )
+        self.responses.append(response)
+        return response
+
     # ------------------------------------------------------------------ #
     def _dispatch(self, tier_index: int, now: float) -> None:
+        if self._paused:
+            return
         tier = self.tiers[tier_index]
         while tier.due(now, self._draining):
             worker = tier.free_worker(now)
@@ -502,6 +754,7 @@ class DistributedServingFabric:
                 payload = stack_rows([item.payload for item in batch])
             tier.batches_dispatched += 1
             tier.samples_processed += len(batch)
+            self._inflight_batches += 1
             # The pool decides how the work occupies time: simulated slots
             # compute inline and bill the modelled service, thread workers
             # compute on the executor and complete when genuinely done.
@@ -533,6 +786,7 @@ class DistributedServingFabric:
         relaxed: bool,
         now: float,
     ) -> None:
+        self._inflight_batches -= 1
         section = self.sections[tier_index]
         final = tier_index == len(self.tiers) - 1
         batch_size = len(batch)
@@ -589,9 +843,148 @@ class DistributedServingFabric:
                 )
 
         self.tiers[tier_index].pool.release(worker, now)
+        if self.autoscaler is not None:
+            self.autoscaler.observe(self, now)
+        if self._paused and self._pending_plan is not None and self._inflight_batches == 0:
+            # Deferred handoff: the last in-flight batch just landed, so the
+            # drain barrier is satisfied — swap the plan in now.  The report
+            # is published on ``last_repartition`` (apply_plan already
+            # returned ``None`` to its caller).
+            self._handoff(now)
+            return
         self._dispatch(tier_index, now)
 
     # ------------------------------------------------------------------ #
+    def apply_plan(
+        self, new_plan: PartitionPlan, now: Optional[float] = None
+    ) -> Optional[RepartitionReport]:
+        """Re-partition the live fabric: drain in-flight batches, then swap.
+
+        The handoff protocol:
+
+        1. **Pause** — every tier stops forming new batches (queued requests
+           stay exactly where they are; arrivals keep enqueueing).
+        2. **Drain** — batches already on workers run to completion and
+           their rows exit or offload normally under the *old* plan.
+        3. **Swap** — tier sections are rebuilt from ``new_plan`` (moving
+           the exit boundary), links and node speeds are retuned in place
+           (stats survive), and each tier's worker pool is resized.
+        4. **Resume** — dispatch restarts; every queued request is served
+           under the new plan, none dropped, none duplicated.
+
+        Returns the :class:`RepartitionReport` when the swap happened
+        synchronously (no batches were in flight); returns ``None`` when
+        the drain barrier deferred it, in which case the report lands on
+        :attr:`last_repartition` once the last in-flight batch completes.
+        """
+        if new_plan.model is not self.model:
+            raise ValueError("apply_plan requires a plan for this fabric's model")
+        if new_plan.num_tiers != len(self.tiers):
+            raise ValueError(
+                f"plan describes {new_plan.num_tiers} tiers but the fabric "
+                f"runs {len(self.tiers)} — adding/removing the edge tier "
+                "needs a new fabric, not a live re-partition"
+            )
+        new_plan.validate()
+        if self._pending_plan is not None:
+            raise RuntimeError("a re-partition is already in progress")
+        when = self.clock.now if now is None else float(now)
+        self._pending_plan = new_plan
+        self._paused = True
+        if self._inflight_batches == 0:
+            return self._handoff(when)
+        return None
+
+    def _handoff(self, now: float) -> RepartitionReport:
+        """Execute the plan swap (drain barrier already satisfied)."""
+        plan = self._pending_plan
+        assert plan is not None and self._inflight_batches == 0
+        self._pending_plan = None
+
+        requeued_ids = {
+            tier.name: tuple(item.request.request_id for item in tier.queue)
+            for tier in self.tiers
+        }
+
+        # Rebuild the sections at the new boundary.  The fault plan and the
+        # shared compiled bundle (edge/cloud aggregation paths) carry over
+        # from the running sections so behaviour other than the boundary is
+        # unchanged.
+        new_sections = build_tier_sections(
+            self.deployment,
+            fault_plan=self.sections[0].fault_plan,
+            compiled=next(
+                (s.compiled for s in self.sections if hasattr(s, "compiled")), None
+            ),
+            plan=plan,
+        )
+        if new_sections[-1].exit_index is None:
+            raise ValueError("the final tier must carry the cascade's final exit")
+        plan.retune_links(self.deployment)
+        plan.retune_nodes(self.deployment)
+
+        counts = list(plan.worker_counts())
+        workers_per_tier: Dict[str, int] = {}
+        for index, (tier, section) in enumerate(zip(self.tiers, new_sections)):
+            tier.section = section
+            workers_per_tier[tier.name] = self._resize_tier(index, counts[index], now)
+        self.sections = list(new_sections)
+        self.plan = plan
+        if self.autoscaler is not None and plan.autoscaled:
+            self.autoscaler.reconfigure(plan.autoscale_policies())
+
+        self._paused = False
+        report = RepartitionReport(
+            time=now,
+            requeued_ids=requeued_ids,
+            workers_per_tier=workers_per_tier,
+        )
+        self.last_repartition = report
+        # Resume: re-dispatch every tier and re-arm the wait timers (the
+        # pause may have swallowed timer firings).
+        for index, tier in enumerate(self.tiers):
+            self._dispatch(index, now)
+            if tier.queue and not self._draining and tier.policy.max_wait_s > 0.0:
+                self.events.schedule(
+                    now + tier.policy.max_wait_s,
+                    lambda fire_time, i=index: self._dispatch(i, fire_time),
+                )
+        return report
+
+    def _resize_tier(self, tier_index: int, num_workers: int, now: float) -> int:
+        """Resize one tier's worker pool; returns the actual size.
+
+        On the compile path every added worker needs its own plan bundle
+        (disjoint buffer arenas).  Bundles freed by earlier shrinks are
+        reused first; genuinely new slots compile fresh bundles.
+        """
+        tier = self.tiers[tier_index]
+        current = len(tier.pool)
+        if num_workers > current and self.compile_enabled:
+            added = num_workers - current
+            in_use = {id(worker.plans) for worker in tier.pool.workers}
+            spare = [bundle for bundle in self._bundles if id(bundle) not in in_use]
+            if len(spare) < added:
+                from ..compile import compile_ddnn
+
+                fresh = [compile_ddnn(self.model) for _ in range(added - len(spare))]
+                self._bundles.extend(fresh)
+                spare.extend(fresh)
+            actual = tier.pool.resize(num_workers, now, worker_plans=spare[:added])
+        else:
+            actual = tier.pool.resize(num_workers, now)
+        if not self._paused:
+            self._dispatch(tier_index, now)
+        return actual
+
+    def enable_autoscaling(self, policies) -> "DistributedServingFabric":
+        """Attach an :class:`~repro.serving.autoscale.Autoscaler` driven by
+        the given per-tier policies (single policy broadcasts)."""
+        from .autoscale import Autoscaler
+
+        self.autoscaler = Autoscaler(self, policies)
+        return self
+
     def close(self) -> None:
         """Shut down the worker pools (joins executor threads); idempotent.
 
@@ -735,5 +1128,6 @@ class DistributedServingFabric:
             ),
             accuracy=float(np.mean(judged)) if judged else None,
             relaxed_fraction=sum(1 for r in responses if r.relaxed) / total,
+            shed_fraction=sum(1 for r in responses if r.shed) / total,
             responses=responses,
         )

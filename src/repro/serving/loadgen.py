@@ -44,6 +44,7 @@ __all__ = [
     "ArrivalProcess",
     "PoissonProcess",
     "BurstyProcess",
+    "DiurnalProcess",
     "TraceReplay",
     "ServiceModel",
     "LoadReport",
@@ -137,6 +138,63 @@ class BurstyProcess(ArrivalProcess):
                 in_burst = not in_burst
             else:
                 now += to_arrival
+                yield now
+
+
+class DiurnalProcess(ArrivalProcess):
+    """Non-homogeneous Poisson arrivals on a sinusoidal day/night cycle.
+
+    The instantaneous rate ramps smoothly between ``base_rate_rps``
+    (trough) and ``peak_rate_rps`` (crest) with period ``period_s``,
+    starting at the trough — the slow load swing an autoscaler is built
+    for, as opposed to the second-scale bursts of :class:`BurstyProcess`.
+    Arrivals are generated by thinning a homogeneous process at the peak
+    rate, so the sequence is deterministic for a given seed.
+    """
+
+    def __init__(
+        self,
+        base_rate_rps: float,
+        peak_rate_rps: float,
+        period_s: float = 60.0,
+        seed: int = 0,
+        start: float = 0.0,
+    ) -> None:
+        if not base_rate_rps > 0.0:
+            raise ValueError(f"base_rate_rps must be > 0, got {base_rate_rps}")
+        if peak_rate_rps < base_rate_rps:
+            raise ValueError(
+                f"peak_rate_rps must be >= base_rate_rps, got "
+                f"{peak_rate_rps} < {base_rate_rps}"
+            )
+        if not period_s > 0.0:
+            raise ValueError(f"period_s must be > 0, got {period_s}")
+        self.base_rate_rps = float(base_rate_rps)
+        self.peak_rate_rps = float(peak_rate_rps)
+        self.period_s = float(period_s)
+        self.seed = int(seed)
+        self.start = float(start)
+
+    def rate_at(self, t: float) -> float:
+        """Instantaneous arrival rate at absolute time ``t``."""
+        mid = (self.base_rate_rps + self.peak_rate_rps) / 2.0
+        amplitude = (self.peak_rate_rps - self.base_rate_rps) / 2.0
+        phase = 2.0 * math.pi * (t - self.start) / self.period_s
+        # -cos starts the cycle at the trough and crests at period/2.
+        return mid - amplitude * math.cos(phase)
+
+    def mean_rate_rps(self) -> float:
+        """Long-run arrival rate (the sinusoid's midline)."""
+        return (self.base_rate_rps + self.peak_rate_rps) / 2.0
+
+    def times(self) -> Iterator[float]:
+        rng = np.random.default_rng(self.seed)
+        now = self.start
+        while True:
+            # Thinning (Lewis & Shedler): candidates at the peak rate,
+            # accepted with probability rate(t) / peak.
+            now += rng.exponential(1.0 / self.peak_rate_rps)
+            if rng.uniform() * self.peak_rate_rps <= self.rate_at(now):
                 yield now
 
 

@@ -110,6 +110,49 @@ class WorkerPool:
         """Return ``worker`` to the free list as of ``now``."""
         worker.busy_until = now
 
+    def resize(
+        self,
+        num_workers: int,
+        now: float,
+        worker_plans: Optional[Sequence[object]] = None,
+    ) -> int:
+        """Grow or shrink the pool to ``num_workers`` slots; returns the
+        actual size.
+
+        Growing appends fresh (immediately free) slots, one per entry of
+        ``worker_plans`` when given.  Shrinking removes *free* slots from
+        the tail — a worker mid-batch is never revoked, so a shrink under
+        load lands partially and the caller sees the actual size; the next
+        resize (or the autoscaler's next evaluation) finishes the job once
+        the stragglers complete.
+        """
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        current = len(self.workers)
+        if num_workers > current:
+            added = num_workers - current
+            plans = list(worker_plans) if worker_plans is not None else [None] * added
+            if len(plans) != added:
+                raise ValueError(
+                    f"worker_plans must provide one bundle per added worker "
+                    f"({added}), got {len(plans)}"
+                )
+            next_index = max(worker.index for worker in self.workers) + 1
+            for offset, plan in enumerate(plans):
+                self.workers.append(
+                    WorkerHandle(next_index + offset, busy_until=now, plans=plan)
+                )
+        elif num_workers < current:
+            removable = current - num_workers
+            retained: List[WorkerHandle] = []
+            for worker in reversed(self.workers):
+                if removable > 0 and worker.busy_until <= now:
+                    removable -= 1
+                    continue
+                retained.append(worker)
+            self.workers = list(reversed(retained))
+        return len(self.workers)
+
     def shutdown(self) -> None:
         """Release any OS resources (threads); idempotent."""
 
@@ -163,8 +206,9 @@ class ThreadPoolWorkerPool(WorkerPool):
         name: str = "worker",
     ) -> None:
         super().__init__(events, num_workers, worker_plans)
+        self._name_prefix = f"repro-{name}"
         self._executor = ThreadPoolExecutor(
-            max_workers=num_workers, thread_name_prefix=f"repro-{name}"
+            max_workers=num_workers, thread_name_prefix=self._name_prefix
         )
         self._closed = False
 
@@ -199,6 +243,32 @@ class ThreadPoolWorkerPool(WorkerPool):
                 self.events.end_inflight()
 
         future.add_done_callback(_done)
+
+    def resize(
+        self,
+        num_workers: int,
+        now: float,
+        worker_plans: Optional[Sequence[object]] = None,
+    ) -> int:
+        """Resize by executor re-creation (a live executor cannot shrink).
+
+        The handle bookkeeping follows the base rule (busy slots survive a
+        shrink); when the slot count actually changes, a new executor sized
+        to it replaces the old one, which is shut down without waiting —
+        futures already running on it still complete and post their
+        results, they just become the old executor's last work.
+        """
+        if self._closed:
+            raise RuntimeError("cannot resize a shut-down worker pool")
+        before = len(self.workers)
+        actual = super().resize(num_workers, now, worker_plans)
+        if actual != before:
+            previous = self._executor
+            self._executor = ThreadPoolExecutor(
+                max_workers=actual, thread_name_prefix=self._name_prefix
+            )
+            previous.shutdown(wait=False)
+        return actual
 
     def shutdown(self) -> None:
         if not self._closed:
