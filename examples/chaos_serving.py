@@ -1,0 +1,167 @@
+"""Chaos-ready serving: fault injection, deadlines, retries and failover.
+
+The paper's fault-tolerance study (Fig. 10) removes devices *before* the
+run; this example injects faults *during* one.  A small trained DDNN
+serves the same Poisson request stream four times:
+
+1. ``none`` — fault-free baseline (the resilient offload path is armed but
+   never triggered, and matches the legacy path event for event);
+2. ``flaky-uplink`` — the device→cloud link flaps and drops messages;
+   offloads carry a deadline, time out, and retry with exponential
+   backoff + jitter, bridging the short dark windows;
+3. ``cloud-partition`` — the cloud is unreachable for most of the run;
+   after the retry budget (or a circuit-breaker fast-fail) each offload
+   *fails over* to the device tier's own exit, answered honestly with
+   ``degraded=True`` and its retry count;
+4. ``worker-crash`` — every cloud worker crashes for a window and
+   restarts; links stay up, so nothing degrades — the backlog just drains
+   late.
+
+Every scenario answers every request exactly once, and on the simulated
+clock the whole fault realisation is deterministic under the schedule's
+seed.
+
+Run with::
+
+    PYTHONPATH=src python examples/chaos_serving.py
+"""
+
+from __future__ import annotations
+
+from repro.core import DDNNTrainer, TrainingConfig, build_ddnn
+from repro.datasets import DEFAULT_DEVICE_PROFILES, load_mvmc_splits
+from repro.hierarchy import (
+    ChaosSchedule,
+    LinkFlap,
+    LinkLoss,
+    LinkOutage,
+    PartitionPlan,
+    WorkerCrash,
+)
+from repro.serving import (
+    BatchingPolicy,
+    CircuitBreaker,
+    DistributedServingFabric,
+    PoissonProcess,
+    RetryPolicy,
+    ServiceModel,
+)
+
+
+def main() -> None:
+    num_devices = 4
+    profiles = DEFAULT_DEVICE_PROFILES[:num_devices]
+    train_set, test_set = load_mvmc_splits(
+        train_samples=160, test_samples=60, profiles=profiles, seed=7
+    )
+
+    print("Training a small DDNN (4 devices)...")
+    model = build_ddnn(
+        num_devices=num_devices,
+        device_filters=4,
+        cloud_filters=8,
+        cloud_conv_blocks=2,
+        cloud_hidden_units=32,
+        seed=1,
+    )
+    DDNNTrainer(model, TrainingConfig(epochs=10, batch_size=32, seed=0)).fit(train_set)
+
+    threshold = 0.8
+    num_requests = 120
+    service = ServiceModel(batch_overhead_s=0.002, per_sample_s=0.004)
+    rate = 0.5 * service.capacity_rps(4)
+    horizon = num_requests / rate
+    batching = BatchingPolicy(max_batch_size=4, max_wait_s=0.004)
+    policy = RetryPolicy(
+        deadline_s=0.1,
+        max_retries=2,
+        backoff_base_s=0.05,
+        backoff_multiplier=2.0,
+        backoff_max_s=0.2,
+        jitter_s=0.01,
+        seed=0,
+    )
+    breaker = CircuitBreaker(failure_threshold=3, reset_timeout_s=0.25)
+    plan = PartitionPlan(model)
+
+    scenarios = {
+        "none": None,
+        "flaky-uplink": ChaosSchedule(
+            flaps=[
+                LinkFlap(
+                    period_s=horizon / 4.0,
+                    down_s=0.12,
+                    destination="cloud",
+                    start=0.1 * horizon,
+                    end=0.9 * horizon,
+                )
+            ],
+            losses=[LinkLoss(probability=0.08, destination="cloud")],
+            seed=0,
+        ),
+        "cloud-partition": ChaosSchedule(
+            outages=[
+                LinkOutage(
+                    destination="cloud", start=0.2 * horizon, end=0.8 * horizon
+                )
+            ],
+            seed=0,
+        ),
+        "worker-crash": ChaosSchedule(
+            crashes=[
+                WorkerCrash(tier="cloud", start=0.3 * horizon, end=0.6 * horizon)
+            ],
+            seed=0,
+        ),
+    }
+
+    print(
+        f"\nServing {num_requests} requests at {rate:.0f} req/s "
+        f"(~{horizon:.2f} s horizon) under four fault scenarios; "
+        f"offload deadline {1e3 * policy.deadline_s:.0f} ms, "
+        f"{policy.max_retries} retries, breaker trips after "
+        f"{breaker.failure_threshold} failures.\n"
+    )
+    header = (
+        f"{'scenario':<16} {'served':>6} {'degraded':>9} {'retries':>8} "
+        f"{'p95 ms':>8} {'accuracy':>9}  notes"
+    )
+    print(header)
+    print("-" * len(header))
+    for name, schedule in scenarios.items():
+        fabric = DistributedServingFabric.from_plan(
+            plan,
+            threshold,
+            batching=batching,
+            service_models=[service] * plan.num_tiers,
+            offload=policy,
+            breaker=breaker,
+        )
+        if schedule is not None:
+            fabric.attach_chaos(schedule)
+        report = fabric.open_loop(
+            PoissonProcess(rate_rps=rate, seed=1),
+            test_set.images,
+            targets=[int(label) for label in test_set.labels],
+            num_requests=num_requests,
+        )
+        assert report.served == num_requests, "a request was dropped"
+        stats = fabric.resilience_stats
+        notes = (
+            f"timeouts={stats.timeouts} fast_fails={stats.breaker_fast_fails} "
+            f"lost={fabric.deployment.fabric.lost_messages}"
+        )
+        print(
+            f"{name:<16} {report.served:>6} "
+            f"{100.0 * report.degraded_fraction:>8.1f}% {report.retry_total:>8} "
+            f"{1e3 * report.p95_latency_s:>8.2f} {report.accuracy:>9.3f}  {notes}"
+        )
+
+    print(
+        "\nEvery scenario answered every request exactly once; degraded rows"
+        "\nare failovers to the device tier's own exit, honestly labelled."
+    )
+
+
+if __name__ == "__main__":
+    main()

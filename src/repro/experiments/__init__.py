@@ -10,6 +10,7 @@ them.
 from typing import Callable, Dict
 
 from .aggregation_table import PAPER_TABLE1_ORDER, run_aggregation_table
+from .chaos_serving import DEFAULT_SCENARIOS, run_chaos_serving
 from .cloud_offloading import DEFAULT_FILTER_SWEEP, run_cloud_offloading
 from .communication_reduction import run_communication_reduction
 from .compiled_forward import REFERENCE_BATCH_SIZE, run_compiled_forward
@@ -71,6 +72,7 @@ EXPERIMENT_REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
     "distributed_serving": run_distributed_serving,
     "parallel_serving": run_parallel_serving,
     "elastic_serving": run_elastic_serving,
+    "chaos_serving": run_chaos_serving,
     "threshold_sweep_fastpath": run_sweep_fastpath,
 }
 
@@ -118,6 +120,8 @@ __all__ = [
     "available_cpu_count",
     "run_elastic_serving",
     "DEFAULT_PEAK_WORKERS",
+    "run_chaos_serving",
+    "DEFAULT_SCENARIOS",
     "run_sweep_fastpath",
     "DEFAULT_SWEEP_GRIDS",
     "REFERENCE_GRID",

@@ -12,6 +12,7 @@ Usage::
     python -m repro.experiments dist-bench --backend thread --workers 2
     python -m repro.experiments parallel-bench --workers 1 --workers 4
     python -m repro.experiments elastic-bench --peak-workers 3
+    python -m repro.experiments chaos-bench --num-requests 160
     python -m repro.experiments sweep-bench --timing-rounds 3
 
 Each experiment prints its table (the same rows the paper reports) and can
@@ -347,6 +348,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory to write the table as elastic_serving.txt",
     )
 
+    chaos_parser = subparsers.add_parser(
+        "chaos-bench",
+        help="runtime fault plane: one trace under link flaps / partition / worker crashes",
+    )
+    chaos_parser.add_argument(
+        "--scale",
+        choices=("ci", "paper"),
+        default="ci",
+        help="experiment scale for the model and request stream",
+    )
+    chaos_parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.8,
+        help="local-exit entropy threshold used by the cascade",
+    )
+    chaos_parser.add_argument(
+        "--num-requests",
+        type=int,
+        default=160,
+        help="Poisson arrivals served under every chaos scenario",
+    )
+    chaos_parser.add_argument(
+        "--max-batch-size",
+        type=int,
+        default=4,
+        help="micro-batch ceiling of every tier's batching policy",
+    )
+    chaos_parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="seed for the arrival process, chaos draws and retry jitter",
+    )
+    chaos_parser.add_argument(
+        "--output-dir",
+        type=Path,
+        default=None,
+        help="directory to write the table as chaos_serving.txt",
+    )
+
     infer_parser = subparsers.add_parser(
         "infer-bench",
         help="benchmark the compiled inference fast path against the eager forward",
@@ -564,6 +606,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(
             f"elastic trajectory ({len(result.metadata['elastic_trajectory'])} "
             f"scale events): {result.metadata['elastic_trajectory']}"
+        )
+        if args.output_dir is not None:
+            args.output_dir.mkdir(parents=True, exist_ok=True)
+            (args.output_dir / f"{result.name}.txt").write_text(text + "\n")
+        return 0
+
+    if args.command == "chaos-bench":
+        from .chaos_serving import run_chaos_serving
+
+        scale = paper_scale() if args.scale == "paper" else ci_scale()
+        result = run_chaos_serving(
+            scale,
+            threshold=args.threshold,
+            num_requests=args.num_requests,
+            max_batch_size=args.max_batch_size,
+            seed=args.seed,
+        )
+        text = result.to_text()
+        print(text)
+        stats = result.metadata["resilience_stats"]
+        print(
+            "resilience accounting: "
+            + "; ".join(
+                f"{scenario}: {values}" for scenario, values in stats.items()
+            )
         )
         if args.output_dir is not None:
             args.output_dir.mkdir(parents=True, exist_ok=True)

@@ -19,7 +19,16 @@ bandwidth-constrained wireless network).  It provides:
 * fault injection (:class:`FaultPlan`) and per-sample telemetry.
 """
 
-from .faults import FaultPlan, random_failures, single_device_failures
+from .faults import (
+    ChaosSchedule,
+    FaultPlan,
+    LinkFlap,
+    LinkLoss,
+    LinkOutage,
+    WorkerCrash,
+    random_failures,
+    single_device_failures,
+)
 from .network import LinkStats, Message, NetworkFabric, NetworkLink
 from .node import (
     AggregatorNode,
@@ -85,6 +94,11 @@ __all__ = [
     "FaultPlan",
     "single_device_failures",
     "random_failures",
+    "ChaosSchedule",
+    "LinkOutage",
+    "LinkFlap",
+    "LinkLoss",
+    "WorkerCrash",
     "SampleTrace",
     "Telemetry",
     "TelemetrySummary",

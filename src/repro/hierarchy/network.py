@@ -89,12 +89,24 @@ class NetworkLink:
 
 
 class NetworkFabric:
-    """The set of links connecting devices, edges and the cloud."""
+    """The set of links connecting devices, edges and the cloud.
+
+    A :class:`~repro.hierarchy.faults.ChaosSchedule` can be attached to
+    model runtime link faults: :meth:`delivery` then answers, for a given
+    instant, whether a message between two endpoints actually arrives
+    (outage/flap windows darken the link entirely; loss events drop
+    individual messages).  Byte accounting is unaffected — a lost message
+    still consumed uplink airtime, so its bytes and transfer seconds stay
+    in the link stats; only :attr:`lost_messages` records the waste.
+    """
 
     def __init__(self) -> None:
         self._links: Dict[Tuple[str, str], NetworkLink] = {}
         self.log: List[Message] = []
         self._log_lock = threading.Lock()
+        self.chaos = None
+        #: Messages that consulted :meth:`delivery` and did not arrive.
+        self.lost_messages = 0
 
     def add_link(self, link: NetworkLink) -> None:
         key = (link.source, link.destination)
@@ -132,6 +144,30 @@ class NetworkFabric:
                 self.log.append(message)
         return seconds
 
+    # -- runtime fault injection ---------------------------------------- #
+    def attach_chaos(self, schedule) -> None:
+        """Attach a :class:`~repro.hierarchy.faults.ChaosSchedule` (or
+        ``None`` to detach) consulted by :meth:`delivery`."""
+        self.chaos = schedule
+
+    def delivery(self, source: str, destination: str, now: float) -> bool:
+        """Whether a message from ``source`` to ``destination`` arrives at ``now``.
+
+        With no chaos attached every message arrives (the immortal-network
+        behaviour every pre-chaos caller relies on).  Endpoints here are
+        whatever granularity the caller offloads at — the serving fabric
+        uses tier names, so one outage entry darkens a whole tier uplink.
+        """
+        if self.chaos is None:
+            return True
+        if not self.chaos.link_up(source, destination, now) or self.chaos.sample_loss(
+            source, destination, now
+        ):
+            with self._log_lock:
+                self.lost_messages += 1
+            return False
+        return True
+
     # ------------------------------------------------------------------ #
     def links(self) -> List[NetworkLink]:
         return list(self._links.values())
@@ -155,3 +191,4 @@ class NetworkFabric:
         for link in self._links.values():
             link.reset()
         self.log.clear()
+        self.lost_messages = 0

@@ -40,6 +40,13 @@ the hard tail.  This package provides the online counterpart of the offline
   :class:`RepartitionReport`), scaled by an :class:`Autoscaler` driven by
   :class:`~repro.hierarchy.plan.AutoscalePolicy` watermarks, and
   replicated behind a :class:`LoadBalancer`.
+* The runtime fault plane: a :class:`~repro.hierarchy.faults.ChaosSchedule`
+  injects timed link outages/flaps, message loss and worker crash windows;
+  offloads under a :class:`RetryPolicy` carry deadlines, retry with
+  exponential backoff + jitter, and fail over to the deepest local exit
+  already cleared (honest ``degraded``/``retries`` metadata), with a
+  per-link :class:`CircuitBreaker` fast-failing known-dark links and tier
+  health feeding the :class:`LoadBalancer`.
 
 All timing flows through an injectable clock, so scheduling behaviour is
 deterministic under test while real deployments use wall time.
@@ -62,7 +69,7 @@ from .admission import (
 from .autoscale import Autoscaler, RateTracker
 from .balancer import BALANCER_STRATEGIES, LoadBalancer
 from .batcher import BatchingPolicy, MicroBatcher
-from .clock import EventLoop, SimulatedClock, WallClock
+from .clock import EventHandle, EventLoop, SimulatedClock, WallClock
 from .fabric import (
     AdaptiveThreshold,
     DistributedServingFabric,
@@ -83,6 +90,7 @@ from .loadgen import (
     TraceReplay,
 )
 from .queue import ClientSession, InferenceRequest, InferenceResponse, RequestQueue
+from .resilience import BreakerState, CircuitBreaker, ResilienceStats, RetryPolicy
 from .server import DDNNServer
 from .stats import ServerStats, StatsSnapshot
 from .workers import (
@@ -119,6 +127,11 @@ __all__ = [
     "SimulatedClock",
     "WallClock",
     "EventLoop",
+    "EventHandle",
+    "RetryPolicy",
+    "BreakerState",
+    "CircuitBreaker",
+    "ResilienceStats",
     "WorkerPool",
     "WorkerHandle",
     "SimulatedWorkerPool",

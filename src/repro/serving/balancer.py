@@ -13,6 +13,14 @@ simulator state is not) and routes incoming work across them:
   in-flight, or still on a scheduled arrival event), ties broken by lowest
   replica index so routing is deterministic.
 
+Routing is **health-aware**: a replica whose fabric reports unhealthy
+(any tier with zero online workers — e.g. a
+:class:`~repro.hierarchy.faults.WorkerCrash` blackout window), or one
+manually marked down with :meth:`LoadBalancer.mark_down`, is excluded
+from :meth:`~LoadBalancer.pick` until it recovers.  When *every* replica
+is down, submission raises a clear :class:`RuntimeError` instead of
+routing work into a black hole (or crashing with an index error).
+
 Replicas are independent discrete-event simulations; the balancer only
 decides *where* work enters.  ``run_until_idle`` drains every replica and
 merges their responses.
@@ -52,6 +60,7 @@ class LoadBalancer:
         #: Submissions routed to each replica, by index.
         self.assignments: List[int] = [0] * len(self.replicas)
         self._cursor = 0
+        self._forced_down: set = set()
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -88,12 +97,55 @@ class LoadBalancer:
             - stats.dropped
         )
 
+    # -- health --------------------------------------------------------- #
+    def mark_down(self, index: int) -> None:
+        """Administratively exclude a replica from routing (idempotent)."""
+        self._forced_down.add(self._check_index(index))
+
+    def mark_up(self, index: int) -> None:
+        """Lift an administrative exclusion (the fabric's own health still
+        applies)."""
+        self._forced_down.discard(self._check_index(index))
+
+    def _check_index(self, index: int) -> int:
+        if not 0 <= index < len(self.replicas):
+            raise IndexError(
+                f"replica index {index} out of range (have {len(self.replicas)})"
+            )
+        return int(index)
+
+    def healthy_indices(self) -> List[int]:
+        """Replicas currently eligible for routing, in index order."""
+        return [
+            index
+            for index, fabric in enumerate(self.replicas)
+            if index not in self._forced_down and getattr(fabric, "healthy", True)
+        ]
+
     def pick(self) -> int:
-        """The replica index the next submission will be routed to."""
+        """The replica index the next submission will be routed to.
+
+        Unhealthy replica stacks (a tier with zero online workers, or
+        :meth:`mark_down`) are routed around; with every replica down this
+        raises :class:`RuntimeError` rather than submitting into the void.
+        """
+        candidates = self.healthy_indices()
+        if not candidates:
+            raise RuntimeError(
+                f"all {len(self.replicas)} replica stacks are unhealthy "
+                "(each needs at least one online worker per tier and no "
+                "mark_down); wait for a crash window to close or mark_up a "
+                "replica before submitting"
+            )
         if self.strategy == "round-robin":
-            return self._cursor % len(self.replicas)
-        depths = [self._depth(fabric) for fabric in self.replicas]
-        return int(np.argmin(depths))  # argmin takes the lowest index on ties
+            # The next healthy replica at or after the rotation cursor, so
+            # healthy stacks still see strict rotation around the outage.
+            for step in range(len(self.replicas)):
+                index = (self._cursor + step) % len(self.replicas)
+                if index in candidates:
+                    return index
+        depths = [self._depth(self.replicas[index]) for index in candidates]
+        return candidates[int(np.argmin(depths))]  # lowest index on ties
 
     def submit(
         self,
@@ -121,7 +173,10 @@ class LoadBalancer:
             views_list, client_id=client_id, targets=targets, at=at
         )
         self.assignments[index] += len(ids)
-        self._cursor += 1
+        # Rotation resumes after the replica actually used (which pick() may
+        # have skipped ahead to); with every replica healthy this is the
+        # same strict rotation as before.
+        self._cursor = index + 1
         return index, ids
 
     # ------------------------------------------------------------------ #

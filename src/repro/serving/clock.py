@@ -29,7 +29,27 @@ import threading
 import time
 from typing import Callable, List, Optional, Tuple
 
-__all__ = ["SimulatedClock", "WallClock", "EventLoop"]
+__all__ = ["SimulatedClock", "WallClock", "EventHandle", "EventLoop"]
+
+
+class EventHandle:
+    """A cancellation token for one scheduled event.
+
+    Cancelling is O(1): the heap entry stays where it is and is skipped
+    (discarded) when it reaches the head, so the loop never fires a
+    cancelled callback and never *waits* for one either — in realtime mode
+    a cancelled head is popped eagerly instead of slept on.  Cancelling an
+    already-fired or already-cancelled event is a harmless no-op, which is
+    exactly what the offload deadline/delivery race wants.
+    """
+
+    __slots__ = ("cancelled",)
+
+    def __init__(self) -> None:
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
 
 
 class SimulatedClock:
@@ -98,7 +118,7 @@ class EventLoop:
         self.realtime = (
             isinstance(self.clock, WallClock) if realtime is None else bool(realtime)
         )
-        self._heap: List[Tuple[float, int, Callable[[float], None]]] = []
+        self._heap: List[Tuple[float, int, Callable[[float], None], EventHandle]] = []
         self._sequence = 0
         self._mutex = threading.Lock()
         self._wakeup = threading.Condition(self._mutex)
@@ -108,30 +128,36 @@ class EventLoop:
         with self._mutex:
             return len(self._heap)
 
-    def schedule(self, when: float, callback: Callable[[float], None]) -> None:
-        """Enqueue ``callback(fire_time)`` to run at time ``when`` (thread-safe)."""
+    def schedule(self, when: float, callback: Callable[[float], None]) -> EventHandle:
+        """Enqueue ``callback(fire_time)`` to run at time ``when`` (thread-safe).
+
+        Returns an :class:`EventHandle` whose :meth:`~EventHandle.cancel`
+        prevents the callback from firing (no-op if it already fired).
+        """
         if math.isnan(when):
             raise ValueError("cannot schedule an event at NaN time")
+        handle = EventHandle()
         with self._wakeup:
             heapq.heappush(
-                self._heap, (max(when, self.clock.now), self._sequence, callback)
+                self._heap, (max(when, self.clock.now), self._sequence, callback, handle)
             )
             self._sequence += 1
             self._wakeup.notify_all()
+        return handle
 
-    def schedule_after(self, delay: float, callback: Callable[[float], None]) -> None:
+    def schedule_after(self, delay: float, callback: Callable[[float], None]) -> EventHandle:
         """Enqueue a callback ``delay`` seconds from the current instant."""
         if delay < 0.0:
             raise ValueError(f"event delay must be >= 0, got {delay}")
-        self.schedule(self.clock.now + delay, callback)
+        return self.schedule(self.clock.now + delay, callback)
 
-    def post(self, callback: Callable[[float], None]) -> None:
+    def post(self, callback: Callable[[float], None]) -> EventHandle:
         """Enqueue a callback at the current instant, waking a waiting run().
 
         This is the cross-thread entry point: worker threads hand their
         completions back to the loop with it, and the loop thread runs them.
         """
-        self.schedule(self.clock.now, callback)
+        return self.schedule(self.clock.now, callback)
 
     # -- in-flight external work (thread-pool completions) -------------- #
     def begin_inflight(self) -> None:
@@ -153,6 +179,10 @@ class EventLoop:
         """Pop the next due event, waiting in realtime mode; None when idle."""
         with self._wakeup:
             while True:
+                # Cancelled events are discarded at the head so the loop
+                # neither fires nor (in realtime mode) waits for them.
+                while self._heap and self._heap[0][3].cancelled:
+                    heapq.heappop(self._heap)
                 if self._heap:
                     if not self.realtime:
                         return heapq.heappop(self._heap)
@@ -181,7 +211,9 @@ class EventLoop:
                 return fired
             if max_events is not None and fired >= max_events:
                 raise RuntimeError(f"event loop exceeded {max_events} events")
-            when, _, callback = entry
+            when, _, callback, handle = entry
+            if handle.cancelled:  # cancelled between pop and fire
+                continue
             self.clock.advance_to(when)
             callback(self.clock.now)
             fired += 1

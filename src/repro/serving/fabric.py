@@ -57,6 +57,7 @@ import numpy as np
 from ..core.cascade import ExitCascade, Thresholds
 from ..core.exits import ExitCriterion
 from ..datasets.mvmc import MVMCDataset
+from ..hierarchy.faults import ChaosSchedule
 from ..hierarchy.network import Message, NetworkLink
 from ..hierarchy.partition import HierarchyDeployment, LinkSpec
 from ..hierarchy.plan import PartitionPlan
@@ -69,8 +70,9 @@ from .admission import (
     RejectNewest,
 )
 from .batcher import BatchingPolicy
-from .clock import EventLoop, SimulatedClock, WallClock
+from .clock import EventHandle, EventLoop, SimulatedClock, WallClock
 from .loadgen import ArrivalProcess, ServiceModel
+from .resilience import CircuitBreaker, ResilienceStats, RetryPolicy
 from .workers import (
     WORKER_POOL_BACKENDS,
     WorkerHandle,
@@ -128,6 +130,12 @@ class FabricRequest:
     path_latency_s: float = 0.0
     #: Total bytes this sample put on the wire (paper Eq. 1 accounting).
     bytes_transferred: float = 0.0
+    #: Offload re-sends performed for this request so far (resilient path).
+    retries: int = 0
+    #: Deepest exit decision this request has already cleared — the answer
+    #: a failover degrades to: ``(prediction, entropy, exit_index,
+    #: exit_name)``.  Maintained only when an offload RetryPolicy is set.
+    fallback: Optional[Tuple[int, float, int, str]] = None
 
 
 @dataclass
@@ -152,6 +160,12 @@ class FabricResponse:
     #: True when admission answered this request from the first exit at the
     #: ingress instead of queueing it (bounded-queue shedding).
     shed: bool = False
+    #: True when the answer is a failover: the offload's deadline/retry
+    #: budget (or an open circuit breaker) gave up on the uplink, and the
+    #: origin tier answered from the deepest local exit already cleared.
+    degraded: bool = False
+    #: Offload re-sends this request's journey needed (0 on a clean path).
+    retries: int = 0
 
     @property
     def latency_s(self) -> float:
@@ -182,6 +196,10 @@ class FabricReport:
     accuracy: Optional[float] = None
     relaxed_fraction: float = 0.0
     shed_fraction: float = 0.0
+    #: Fraction of responses answered by failover to a local exit.
+    degraded_fraction: float = 0.0
+    #: Total offload re-sends across all responses.
+    retry_total: int = 0
     responses: List[FabricResponse] = field(default_factory=list)
 
 
@@ -212,6 +230,27 @@ class _PendingItem:
     request: FabricRequest
     payload: object
     arrival_time: float
+
+
+@dataclass
+class _OffloadGroup:
+    """One in-flight resilient offload: a batch's non-exiting rows in transit.
+
+    Under a :class:`~repro.serving.resilience.RetryPolicy` the rows of one
+    batch travel (and are retried) as a single message-group — they share
+    link fate, a deadline timer, and a failover decision.  ``attempts``
+    versions the outstanding send so a late arrival from a superseded
+    attempt can be recognised and suppressed.
+    """
+
+    origin: int
+    requests: List[FabricRequest]
+    rows: np.ndarray
+    carry: object
+    attempts: int = 0
+    settled: bool = False
+    delivery_handle: Optional[EventHandle] = None
+    timeout_handle: Optional[EventHandle] = None
 
 
 class _IngressQueueView:
@@ -340,6 +379,26 @@ class DistributedServingFabric:
         The thread backend defaults ``clock`` to a fresh ``WallClock`` and
         rejects a simulated one — wall-clock dispatch is what makes real
         concurrency observable.
+    offload:
+        Optional :class:`~repro.serving.resilience.RetryPolicy`.  When set,
+        every offload to the next tier carries a deadline; on timeout or
+        message loss the origin tier retries with exponential backoff +
+        jitter up to the budget, then **fails over** to the deepest local
+        exit the request has already cleared — a degraded but honest answer
+        carrying ``degraded``/``retries`` metadata.  Required whenever an
+        attached chaos schedule can darken links or lose messages (an
+        offload into a dark link would otherwise hang forever).  Without
+        it the legacy immortal-network offload path runs unchanged.
+    breaker:
+        Optional :class:`~repro.serving.resilience.CircuitBreaker` template
+        (thresholds only); each inter-tier link gets its own instance.  An
+        open breaker fails offloads over to the local exit immediately
+        instead of burning a deadline + backoff ladder per batch.  Requires
+        ``offload``.  Defaults to ``CircuitBreaker()`` per link when an
+        offload policy is set.
+    chaos:
+        Optional :class:`~repro.hierarchy.faults.ChaosSchedule` applied at
+        construction (equivalent to calling :meth:`attach_chaos`).
     """
 
     def __init__(
@@ -358,6 +417,9 @@ class DistributedServingFabric:
         backend: str = "simulated",
         capacity: Optional[int] = None,
         admission: Optional[AdmissionPolicy] = None,
+        offload: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        chaos: Optional[ChaosSchedule] = None,
     ) -> None:
         if capacity is not None and capacity < 1:
             raise ValueError(
@@ -473,6 +535,25 @@ class DistributedServingFabric:
         self._draining = False
         self._started_at = self.clock.now
 
+        if breaker is not None and offload is None:
+            raise ValueError(
+                "breaker without offload does nothing: the circuit breaker "
+                "guards the resilient offload path — pass offload=RetryPolicy(...)"
+            )
+        #: Offload resilience policy (None keeps the legacy immortal-network
+        #: offload path, event for event).
+        self.offload_policy = offload
+        self._breaker_template = breaker
+        #: Per-link circuit breakers, keyed (origin tier name, target tier name).
+        self.breakers: Dict[Tuple[str, str], CircuitBreaker] = {}
+        self._retry_rng = (
+            np.random.default_rng(offload.seed) if offload is not None else None
+        )
+        self.resilience_stats = ResilienceStats()
+        self.chaos: Optional[ChaosSchedule] = None
+        if chaos is not None:
+            self.attach_chaos(chaos)
+
     # ------------------------------------------------------------------ #
     @property
     def clock(self) -> Union[SimulatedClock, WallClock]:
@@ -481,6 +562,71 @@ class DistributedServingFabric:
     @property
     def tier_names(self) -> List[str]:
         return [tier.name for tier in self.tiers]
+
+    @property
+    def healthy(self) -> bool:
+        """True while every tier has at least one online (non-crashed) worker.
+
+        A :class:`~repro.hierarchy.faults.WorkerCrash` blackout window takes
+        a tier's online count to zero; the
+        :class:`~repro.serving.balancer.LoadBalancer` reads this to route
+        around a blacked-out replica stack.
+        """
+        return all(tier.pool.online > 0 for tier in self.tiers)
+
+    # -- runtime fault injection ---------------------------------------- #
+    def attach_chaos(self, schedule: ChaosSchedule) -> "DistributedServingFabric":
+        """Arm a :class:`~repro.hierarchy.faults.ChaosSchedule` on this fabric.
+
+        Link events (outages, flaps, loss) are consulted per offload via
+        :meth:`NetworkFabric.delivery
+        <repro.hierarchy.network.NetworkFabric.delivery>`; worker-crash
+        windows are pre-scheduled as events at each window boundary, where
+        the affected tier's pool re-applies the schedule's offline count
+        (idle workers crash first; a worker mid-batch finishes that batch,
+        then goes dark).  On the simulated backend the whole fault
+        realisation is deterministic under the schedule's seed.
+        """
+        if schedule.has_link_chaos and self.offload_policy is None:
+            raise ValueError(
+                "this chaos schedule can darken links or lose messages, and "
+                "without an offload RetryPolicy a lost offload would hang "
+                "forever — pass offload=RetryPolicy(...) to the fabric"
+            )
+        self.chaos = schedule
+        self.deployment.fabric.attach_chaos(schedule)
+        for index, tier in enumerate(self.tiers):
+            for when in schedule.worker_event_times(tier.name):
+                self.events.schedule(
+                    when,
+                    lambda now, i=index: self._apply_worker_chaos(i, now),
+                )
+            # A window already open at attach time applies immediately.
+            if schedule.worker_event_times(tier.name):
+                self._apply_worker_chaos(index, self.clock.now)
+        return self
+
+    def _apply_worker_chaos(self, tier_index: int, now: float) -> None:
+        """Re-apply the schedule's offline worker count for one tier at ``now``."""
+        assert self.chaos is not None
+        tier = self.tiers[tier_index]
+        tier.pool.apply_offline(
+            self.chaos.workers_down(tier.name, now, len(tier.pool)), now
+        )
+        # A restart boundary frees workers for the backlog accumulated
+        # during the window; a crash boundary makes this a no-op dispatch.
+        if not self._paused:
+            self._dispatch(tier_index, now)
+
+    def breaker_for(self, origin: str, target: str) -> CircuitBreaker:
+        """The (lazily-created) circuit breaker guarding one inter-tier link."""
+        key = (origin, target)
+        if key not in self.breakers:
+            template = self._breaker_template
+            self.breakers[key] = (
+                template.spawn() if template is not None else CircuitBreaker()
+            )
+        return self.breakers[key]
 
     @staticmethod
     def _per_tier(value, num_tiers: int, label: str) -> List:
@@ -687,7 +833,11 @@ class DistributedServingFabric:
         return exit_index
 
     def _shed_response(
-        self, request: FabricRequest, now: float, max_entropy: Optional[float] = None
+        self,
+        request: FabricRequest,
+        now: float,
+        max_entropy: Optional[float] = None,
+        degraded: bool = False,
     ) -> Optional[FabricResponse]:
         """Answer a shed request from the first exit, bypassing the tiers.
 
@@ -698,6 +848,9 @@ class DistributedServingFabric:
         request ever enters the tier plane.  With ``max_entropy`` set the
         answer is only delivered when its entropy clears the bound;
         ``None`` is returned otherwise so the caller can queue the request.
+        With ``degraded=True`` the same first-exit evaluation serves an
+        offload failover whose journey never cleared an exit (the origin
+        tier had none), flagged ``degraded`` instead of ``shed``.
         """
         exit_index = self._require_first_exit()
         self.model.eval()
@@ -724,7 +877,9 @@ class DistributedServingFabric:
             path_latency_s=request.path_latency_s,
             bytes_transferred=request.bytes_transferred,
             batch_size=1,
-            shed=True,
+            shed=not degraded,
+            degraded=degraded,
+            retries=request.retries if degraded else 0,
         )
         self.responses.append(response)
         return response
@@ -817,6 +972,7 @@ class DistributedServingFabric:
                 bytes_transferred=request.bytes_transferred,
                 batch_size=batch_size,
                 relaxed=relaxed,
+                retries=request.retries,
             )
             if relaxed:
                 self.relaxed_samples += 1
@@ -824,23 +980,45 @@ class DistributedServingFabric:
 
         remaining = np.flatnonzero(~exit_mask)
         if remaining.size:
-            transfer = section.offload(result.carry, remaining)
-            # Rows sharing a transfer delay arrive together, so the next
-            # tier sees them as one batch-forming event.
-            groups: Dict[float, List[Tuple[FabricRequest, object]]] = {}
-            for position, row in enumerate(remaining):
-                request = batch[row].request
-                delay = float(transfer.delay_s[position])
-                request.path_latency_s += delay
-                request.bytes_transferred += float(transfer.bytes[position])
-                groups.setdefault(delay, []).append((request, transfer.payloads[position]))
-            for delay, items in groups.items():
-                self.events.schedule(
-                    now + delay,
-                    lambda fire_time, t=tier_index + 1, payloads=items: (
-                        self._arrive(t, payloads, fire_time)
-                    ),
+            if self.offload_policy is not None:
+                # Resilient offload path: remember the decision each row is
+                # failing over to (the deepest exit already cleared), then
+                # send the rows as one deadline-guarded message-group.
+                if decision is not None:
+                    for row in remaining:
+                        batch[row].request.fallback = (
+                            int(decision.predictions[row]),
+                            float(decision.entropies[row]),
+                            section.exit_index,
+                            section.exit_name,
+                        )
+                group = _OffloadGroup(
+                    origin=tier_index,
+                    requests=[batch[row].request for row in remaining],
+                    rows=np.asarray(remaining),
+                    carry=result.carry,
                 )
+                self._offload_attempt(group, now)
+            else:
+                transfer = section.offload(result.carry, remaining)
+                # Rows sharing a transfer delay arrive together, so the next
+                # tier sees them as one batch-forming event.
+                groups: Dict[float, List[Tuple[FabricRequest, object]]] = {}
+                for position, row in enumerate(remaining):
+                    request = batch[row].request
+                    delay = float(transfer.delay_s[position])
+                    request.path_latency_s += delay
+                    request.bytes_transferred += float(transfer.bytes[position])
+                    groups.setdefault(delay, []).append(
+                        (request, transfer.payloads[position])
+                    )
+                for delay, items in groups.items():
+                    self.events.schedule(
+                        now + delay,
+                        lambda fire_time, t=tier_index + 1, payloads=items: (
+                            self._arrive(t, payloads, fire_time)
+                        ),
+                    )
 
         self.tiers[tier_index].pool.release(worker, now)
         if self.autoscaler is not None:
@@ -853,6 +1031,134 @@ class DistributedServingFabric:
             self._handoff(now)
             return
         self._dispatch(tier_index, now)
+
+    # -- resilient offloads: deadline, retry/backoff, failover ----------- #
+    def _offload_attempt(self, group: _OffloadGroup, now: float) -> None:
+        """Send (or re-send) one offload group under the deadline policy."""
+        policy = self.offload_policy
+        assert policy is not None
+        origin = self.tiers[group.origin]
+        target = self.tiers[group.origin + 1]
+        breaker = self.breaker_for(origin.name, target.name)
+        if not breaker.allow(now):
+            # Fast-fail: the link is known-dark; answer locally without
+            # burning a deadline + backoff ladder on it.
+            self.resilience_stats.breaker_fast_fails += 1
+            group.settled = True
+            self._failover(group, now)
+            return
+        group.attempts += 1
+        self.resilience_stats.attempts += 1
+        # Every attempt genuinely transmits: bytes and transfer seconds are
+        # re-accounted on the links and requests (retries are not free).
+        transfer = origin.section.offload(group.carry, group.rows)
+        for position, request in enumerate(group.requests):
+            request.path_latency_s += float(transfer.delay_s[position])
+            request.bytes_transferred += float(transfer.bytes[position])
+        delay = float(np.max(transfer.delay_s)) if len(group.requests) else 0.0
+        delivered = self.deployment.fabric.delivery(origin.name, target.name, now)
+        attempt = group.attempts
+        if delivered:
+            items = list(zip(group.requests, transfer.payloads))
+            group.delivery_handle = self.events.schedule(
+                now + delay,
+                lambda fire_time, g=group, a=attempt, it=items: (
+                    self._offload_delivered(g, a, it, fire_time)
+                ),
+            )
+        else:
+            group.delivery_handle = None
+        group.timeout_handle = self.events.schedule(
+            now + policy.deadline_s,
+            lambda fire_time, g=group, a=attempt: (
+                self._offload_timeout(g, a, fire_time)
+            ),
+        )
+
+    def _offload_delivered(
+        self,
+        group: _OffloadGroup,
+        attempt: int,
+        items: List[Tuple[FabricRequest, object]],
+        now: float,
+    ) -> None:
+        """An offload group's payload reached the next tier."""
+        if group.settled or attempt != group.attempts:
+            # The deadline (or a failover) already retired this attempt;
+            # delivering it now would duplicate the requests downstream.
+            self.resilience_stats.late_deliveries += 1
+            return
+        group.settled = True
+        if group.timeout_handle is not None:
+            group.timeout_handle.cancel()
+        origin = self.tiers[group.origin]
+        target = self.tiers[group.origin + 1]
+        self.breaker_for(origin.name, target.name).record_success(now)
+        self._arrive(group.origin + 1, items, now)
+
+    def _offload_timeout(self, group: _OffloadGroup, attempt: int, now: float) -> None:
+        """An offload attempt's deadline expired before its arrival landed."""
+        if group.settled or attempt != group.attempts:
+            return
+        policy = self.offload_policy
+        assert policy is not None
+        if group.delivery_handle is not None:
+            # The transfer was slower than the deadline: treat the payload
+            # as lost (the re-send, not this straggler, now owns delivery).
+            group.delivery_handle.cancel()
+            group.delivery_handle = None
+        self.resilience_stats.timeouts += 1
+        origin = self.tiers[group.origin]
+        target = self.tiers[group.origin + 1]
+        self.breaker_for(origin.name, target.name).record_failure(now)
+        if group.attempts > policy.max_retries:
+            group.settled = True
+            self._failover(group, now)
+            return
+        self.resilience_stats.retries += 1
+        for request in group.requests:
+            request.retries += 1
+        backoff = policy.backoff_s(group.attempts, self._retry_rng)
+        self.events.schedule(
+            now + backoff,
+            lambda fire_time, g=group: self._offload_attempt(g, fire_time),
+        )
+
+    def _failover(self, group: _OffloadGroup, now: float) -> None:
+        """Answer every request of a given-up offload from its local exit."""
+        for request in group.requests:
+            self._degraded_response(request, now, batch_size=len(group.requests))
+
+    def _degraded_response(
+        self, request: FabricRequest, now: float, batch_size: int = 1
+    ) -> FabricResponse:
+        """One failover answer: the deepest exit decision already cleared,
+        flagged ``degraded`` (first-exit re-evaluation when the journey
+        never cleared an exit)."""
+        self.resilience_stats.failovers += 1
+        if request.fallback is None:
+            response = self._shed_response(request, now, degraded=True)
+            assert response is not None  # no max_entropy bound on failovers
+            return response
+        prediction, entropy, exit_index, exit_name = request.fallback
+        response = FabricResponse(
+            request_id=request.request_id,
+            client_id=request.client_id,
+            prediction=prediction,
+            exit_index=exit_index,
+            exit_name=exit_name,
+            entropy=entropy,
+            target=request.target,
+            submit_time=request.submit_time,
+            completion_time=now,
+            path_latency_s=request.path_latency_s,
+            bytes_transferred=request.bytes_transferred,
+            batch_size=batch_size,
+            degraded=True,
+            retries=request.retries,
+        )
+        self.responses.append(response)
+        return response
 
     # ------------------------------------------------------------------ #
     def apply_plan(
@@ -1129,5 +1435,7 @@ class DistributedServingFabric:
             accuracy=float(np.mean(judged)) if judged else None,
             relaxed_fraction=sum(1 for r in responses if r.relaxed) / total,
             shed_fraction=sum(1 for r in responses if r.shed) / total,
+            degraded_fraction=sum(1 for r in responses if r.degraded) / total,
+            retry_total=sum(r.retries for r in responses),
             responses=responses,
         )

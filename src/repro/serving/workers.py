@@ -61,6 +61,9 @@ class WorkerHandle:
     index: int
     busy_until: float = 0.0
     plans: object = None  # per-worker CompiledDDNN bundle (compile=True only)
+    #: Crashed by a chaos schedule: the slot exists but takes no work until
+    #: its crash window closes (see :meth:`WorkerPool.apply_offline`).
+    offline: bool = False
 
 
 class WorkerPool:
@@ -88,12 +91,38 @@ class WorkerPool:
         return len(self.workers)
 
     def acquire(self, now: float) -> Optional[WorkerHandle]:
-        """The first worker free at ``now``, or ``None`` (does not mark busy;
-        :meth:`execute` does)."""
+        """The first online worker free at ``now``, or ``None`` (does not
+        mark busy; :meth:`execute` does)."""
         for worker in self.workers:
-            if worker.busy_until <= now:
+            if not worker.offline and worker.busy_until <= now:
                 return worker
         return None
+
+    @property
+    def online(self) -> int:
+        """Worker slots not currently crashed by a chaos schedule."""
+        return sum(1 for worker in self.workers if not worker.offline)
+
+    def apply_offline(self, count: int, now: float) -> int:
+        """Declaratively mark exactly ``count`` workers offline (chaos crashes).
+
+        Idle workers crash first; a worker mid-batch finishes its in-flight
+        work before going dark (batch-boundary crash semantics — the
+        discrete-event simulator has no half-computed state to lose).
+        Called at every crash-window boundary with the schedule's current
+        offline count, so restarts are just ``count`` dropping.  Returns
+        the number offline.
+        """
+        count = max(0, min(int(count), len(self.workers)))
+        for worker in self.workers:
+            worker.offline = False
+        if count:
+            ranked = sorted(
+                self.workers, key=lambda worker: (worker.busy_until > now, worker.index)
+            )
+            for worker in ranked[:count]:
+                worker.offline = True
+        return count
 
     def execute(
         self,
