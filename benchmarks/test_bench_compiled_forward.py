@@ -2,16 +2,24 @@
 
 Measures :mod:`repro.compile` plans (BatchNorm folding, conv/activation
 fusion, pre-packed binarized weights, reused buffer arena) against the eager
-autograd forward across serving-relevant batch sizes, and enforces the
-headline bar: **>= 3x speedup on the reference configuration** (batch size
-1 — single-sample serving latency, typically ~4-6x; the margin follows the
-same shared-runner slack convention as the serving-throughput bench) with
-byte-identical exit routing and float32-level logit agreement.
+autograd forward across serving-relevant batch sizes and the three compiled
+precision modes, and enforces the headline bars:
+
+* **>= 3x speedup on the reference configuration** (batch size 1 —
+  single-sample serving latency, typically ~4-6x; the margin follows the
+  same shared-runner slack convention as the serving-throughput bench)
+  with byte-identical exit routing and float32-level logit agreement;
+* **>= 1.3x fp32 over fp64 at the batch-1 kernel reference config** (the
+  experiment raises on a miss) — measured on a conv stack wide enough
+  that kernel work, not per-op dispatch, dominates batch-1 wall time.
 """
 
 from __future__ import annotations
 
-from repro.experiments.compiled_forward import run_compiled_forward
+from repro.experiments.compiled_forward import (
+    FP32_REFERENCE_FLOOR,
+    run_compiled_forward,
+)
 
 
 def test_bench_compiled_forward(benchmark, scale, record_result):
@@ -20,13 +28,23 @@ def test_bench_compiled_forward(benchmark, scale, record_result):
     )
     record_result(result)
 
-    # The equivalence guarantee: same routing everywhere, logits allclose at
-    # fp32 tolerance (the experiment itself raises on routing divergence).
-    assert all(value == "yes" for value in result.column("routing_identical"))
+    # The equivalence guarantees: exact modes (float64, bitpacked) route
+    # byte-identically to eager (the experiment raises otherwise); the
+    # tolerance-mode float32 rows record their measured stream agreement and
+    # their grid-pooled >=99.9% floor is enforced by verify_compiled inside
+    # the experiment.
+    for row in result.rows:
+        if row["precision"] in ("float64", "bitpacked"):
+            assert row["routing_identical"] == "yes", row
+            assert row["routing_agreement"] == 1.0, row
     assert result.metadata["max_abs_logit_diff"] < 1e-6
+    assert result.metadata["max_abs_logit_diff_float64"] < 1e-6
+    assert result.metadata["max_abs_logit_diff_bitpacked"] < 1e-6
 
     compiled_rows = [row for row in result.rows if row["path"] == "compiled"]
     assert compiled_rows, "no compiled rows produced"
+    exact_rows = [row for row in compiled_rows if row["precision"] == "float64"]
+    assert exact_rows, "no exact-mode compiled rows produced"
 
     # Headline claim: >= 3x on the reference configuration (typically ~4-6x;
     # the slack absorbs wall-clock noise on shared runners, as in PR 2).
@@ -36,10 +54,17 @@ def test_bench_compiled_forward(benchmark, scale, record_result):
         f"compiled speedup {reference_speedup:.2f}x at batch {reference} < 3.0x"
     )
 
-    # The compiled path must never be slower, at any batch size (typical
-    # worst case ~1.4x at the largest, BLAS-bound batch).
-    for row in compiled_rows:
+    # The exact compiled path must never be slower, at any batch size
+    # (typical worst case ~1.4x at the largest, BLAS-bound batch).  The
+    # reduced-precision rows are measured and recorded but carry their own
+    # bar: fp32 must clear FP32_REFERENCE_FLOOR at the kernel reference
+    # config (asserted inside the experiment), while bitpacked is a
+    # verified-exactness mode whose numpy-level kernels are honestly
+    # reported even where OpenBLAS dgemm outruns them.
+    for row in exact_rows:
         assert row["speedup_vs_eager"] >= 1.1, (
             f"compiled slower than eager at batch {row['batch_size']}: "
             f"{row['speedup_vs_eager']:.2f}x"
         )
+
+    assert result.metadata["fp32_reference_speedup"] >= FP32_REFERENCE_FLOOR

@@ -13,6 +13,13 @@ def test_bench_ext_mixed_precision(benchmark, scale, record_result):
     assert set(rows) == {"binary", "float"}
     for row in rows.values():
         assert 0.0 <= row["cloud_accuracy_pct"] <= 100.0
+        # Kernel-side cross-check: the bitpacked compiled mode reproduces
+        # the fp64 logits bit for bit, and the fp32 mode honors its
+        # grid-pooled routing-agreement guarantee on both trained models.
+        assert row["bitpacked_identical"] == "yes"
+        assert row["fp32_routing_agreement"] >= 0.999
+        # fp32 staged accuracy can only drift where routing disagrees.
+        assert abs(row["fp32_overall_accuracy_pct"] - row["overall_accuracy_pct"]) <= 1.0
     # A floating-point cloud should not be (much) worse than a binary cloud —
     # it strictly generalises the binary hypothesis class.
     assert rows["float"]["cloud_accuracy_pct"] >= rows["binary"]["cloud_accuracy_pct"] - 15.0

@@ -11,7 +11,12 @@ and emits plans executing on raw ``np.ndarray``s with
 * zero-copy strided-window im2col over pre-packed (pre-binarized) weight
   matrices, and
 * a per-plan buffer arena reused across batches (re-planned on shape
-  change).
+  change), and
+* selectable compute precision (``PRECISIONS``): exact ``"float64"``
+  (default), tolerance-mode ``"float32"`` (fp32 weights/buffers/GEMMs,
+  cache-blocked im2col), and ``"bitpacked"`` (uint64 XNOR+popcount GEMMs on
+  the ±1 binary blocks, bit-identical to float64) — each enforced by
+  :func:`verify_compiled` with its own documented guarantee.
 
 Entry points: :func:`compile_plan` for a single module stack,
 :func:`compile_ddnn` for a whole multi-exit DDNN, and :func:`verify_compiled`
@@ -31,9 +36,10 @@ from .ddnn import (
     CompiledTier,
     compile_aggregator,
     compile_ddnn,
+    routing_agreement,
     verify_compiled,
 )
-from .ops import Arena, CompileError
+from .ops import Arena, CompileError, PRECISIONS, precision_dtype
 from .plan import CompiledPlan, OpTiming, compile_plan, flatten_modules
 
 __all__ = [
@@ -41,6 +47,8 @@ __all__ = [
     "CompileError",
     "CompiledPlan",
     "OpTiming",
+    "PRECISIONS",
+    "precision_dtype",
     "compile_plan",
     "flatten_modules",
     "CompiledBranch",
@@ -51,5 +59,6 @@ __all__ = [
     "compile_ddnn",
     "compiled_plan_for",
     "invalidate_plan",
+    "routing_agreement",
     "verify_compiled",
 ]

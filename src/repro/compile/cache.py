@@ -6,12 +6,16 @@ grid helper or short-lived server) carried its own ``_compiled_plans`` dict
 and recompiled :func:`~repro.compile.ddnn.compile_ddnn` for a model the
 process had already compiled.  The cache here is shared by all of them:
 
-* keyed by ``id(model)`` with the identity double-checked against a weak
-  reference, so a recycled ``id()`` can never serve another model's plan;
+* keyed by ``(id(model), precision)`` with the identity double-checked
+  against a weak reference, so a recycled ``id()`` can never serve another
+  model's plan and a ``float32`` request can never be answered with another
+  caller's ``float64`` plan — one model may have one live plan per
+  precision mode simultaneously;
 * entries hold the model only *weakly* — dropping the last strong reference
-  to a model evicts its plan instead of leaking it;
+  to a model evicts its plans instead of leaking them;
 * :func:`invalidate_plan` is the explicit hook to call after (re)training a
-  model in place, since plans snapshot weights at compile time;
+  model in place (it evicts *every* precision's plan for that model, since
+  all of them snapshot weights at compile time);
 * all bookkeeping is guarded by one re-entrant lock, so worker threads
   (:mod:`repro.serving.workers`) can look plans up while a training loop
   invalidates them — compilation itself happens *outside* the lock, so a
@@ -25,24 +29,32 @@ import threading
 import weakref
 from typing import Dict, Optional, Tuple
 
+from .ops import PRECISIONS
+
 __all__ = ["compiled_plan_for", "invalidate_plan", "cached_plan_count"]
 
-#: id(model) -> (weakref to the model, its CompiledDDNN plan).
-_PLAN_CACHE: Dict[int, Tuple["weakref.ref", object]] = {}
+#: (id(model), precision) -> (weakref to the model, its CompiledDDNN plan).
+_PLAN_CACHE: Dict[Tuple[int, str], Tuple["weakref.ref", object]] = {}
 # RLock, not Lock: the weakref eviction callback can fire during a GC
 # triggered while the owning thread already holds the lock.
 _CACHE_LOCK = threading.RLock()
 
 
-def compiled_plan_for(model):
+def compiled_plan_for(model, precision: str = "float64"):
     """The process-wide compiled plan for a model, compiling on first use.
 
     The plan snapshots the model's weights; call :func:`invalidate_plan`
-    after the model is (re)trained to force a rebuild.  Thread-safe: racing
-    first-use compiles both build a plan, and the second to finish adopts
-    the first one's entry.
+    after the model is (re)trained to force a rebuild.  Each precision mode
+    gets its own cached plan, so mixed-precision deployments (e.g. a
+    bitpacked device tier next to an fp64 cloud) coexist without evicting
+    each other.  Thread-safe: racing first-use compiles both build a plan,
+    and the second to finish adopts the first one's entry.
     """
-    key = id(model)
+    if precision not in PRECISIONS:
+        raise ValueError(
+            f"unknown precision {precision!r}; expected one of {PRECISIONS}"
+        )
+    key = (id(model), precision)
     with _CACHE_LOCK:
         entry = _PLAN_CACHE.get(key)
         if entry is not None and entry[0]() is model:
@@ -50,7 +62,7 @@ def compiled_plan_for(model):
 
     from .ddnn import compile_ddnn
 
-    plan = compile_ddnn(model)
+    plan = compile_ddnn(model, precision=precision)
 
     def _evict(ref, key=key):
         # Only drop the entry if it still belongs to the dead model — the id
@@ -69,7 +81,7 @@ def compiled_plan_for(model):
 
 
 def invalidate_plan(model: Optional[object] = None) -> None:
-    """Drop the cached plan for one model, or every cached plan.
+    """Drop every cached plan for one model (all precisions), or all plans.
 
     Required after in-place retraining: compiled plans bake the weights in
     and would otherwise keep serving the stale snapshot.
@@ -78,12 +90,16 @@ def invalidate_plan(model: Optional[object] = None) -> None:
         if model is None:
             _PLAN_CACHE.clear()
             return
-        entry = _PLAN_CACHE.get(id(model))
-        if entry is not None and entry[0]() is model:
-            del _PLAN_CACHE[id(model)]
+        stale = [
+            key
+            for key, entry in _PLAN_CACHE.items()
+            if key[0] == id(model) and entry[0]() is model
+        ]
+        for key in stale:
+            del _PLAN_CACHE[key]
 
 
 def cached_plan_count() -> int:
-    """Number of live cached plans (for tests and diagnostics)."""
+    """Number of live cached plans (one per (model, precision) pair)."""
     with _CACHE_LOCK:
         return len(_PLAN_CACHE)

@@ -26,9 +26,10 @@ from ..core.aggregation import (
     MaxPoolAggregator,
 )
 from ..core.ddnn import DDNN, DeviceBranch, _UpperTier
+from ..core.exits import normalized_entropy, softmax_probabilities
 from ..nn.layers import Flatten
 from ..nn.tensor import Tensor, no_grad
-from .ops import CompileError
+from .ops import CompileError, PRECISIONS, precision_dtype
 from .plan import CompiledPlan
 
 __all__ = [
@@ -39,6 +40,7 @@ __all__ = [
     "CompiledDDNN",
     "compile_ddnn",
     "compile_aggregator",
+    "routing_agreement",
     "verify_compiled",
 ]
 
@@ -98,12 +100,38 @@ def compile_aggregator(aggregator: Aggregator) -> CompiledAggregator:
     raise CompileError(f"cannot compile aggregator of type {type(aggregator).__name__}")
 
 
+def _aggregator_preserves_sign(aggregator: Aggregator) -> bool:
+    """Whether ±1 inputs provably stay ±1 through an aggregation scheme.
+
+    Max over ±1 values is ±1; a pure concatenation only moves values; an
+    average (or a concat projection's GEMM) produces arbitrary floats.
+    This is the cross-plan link of the sign-propagation chain that feeds
+    ``input_signed`` into downstream tiers for the bitpacked kernels.
+    """
+    if isinstance(aggregator, MaxPoolAggregator):
+        return True
+    if isinstance(aggregator, ConcatAggregator):
+        return aggregator.projection is None
+    return False
+
+
 class CompiledBranch:
     """A device branch: compiled feature extractor + exit classifier."""
 
-    def __init__(self, branch: DeviceBranch) -> None:
-        self.features = CompiledPlan(branch.features, name="device-features")
-        self.classify = CompiledPlan([Flatten(), branch.classifier], name="device-classifier")
+    def __init__(self, branch: DeviceBranch, precision: str = "float64") -> None:
+        self.features = CompiledPlan(
+            branch.features, name="device-features", precision=precision
+        )
+        self.classify = CompiledPlan(
+            [Flatten(), branch.classifier],
+            name="device-classifier",
+            precision=precision,
+            input_signed=self.features.output_signed,
+        )
+
+    @property
+    def output_signed(self) -> bool:
+        return self.features.output_signed
 
     def __call__(self, view: np.ndarray):
         feature_map = self.features(view)
@@ -113,13 +141,33 @@ class CompiledBranch:
 class CompiledTier:
     """An edge or cloud section: compiled ConvP stack + FC head."""
 
-    def __init__(self, tier: _UpperTier, name: str = "tier") -> None:
-        self.features = CompiledPlan(tier.features, name=f"{name}-features")
+    def __init__(
+        self,
+        tier: _UpperTier,
+        name: str = "tier",
+        precision: str = "float64",
+        input_signed: bool = False,
+    ) -> None:
+        self.features = CompiledPlan(
+            tier.features,
+            name=f"{name}-features",
+            precision=precision,
+            input_signed=input_signed,
+        )
         head = [Flatten()]
         if tier.hidden is not None:
             head.append(tier.hidden)
         head.append(tier.classifier)
-        self.head = CompiledPlan(head, name=f"{name}-head")
+        self.head = CompiledPlan(
+            head,
+            name=f"{name}-head",
+            precision=precision,
+            input_signed=self.features.output_signed,
+        )
+
+    @property
+    def output_signed(self) -> bool:
+        return self.features.output_signed
 
     def __call__(self, aggregated: np.ndarray):
         feature_map = self.features(aggregated)
@@ -160,13 +208,22 @@ class CompiledDDNN:
     their buffer arenas otherwise.
     """
 
-    def __init__(self, model: DDNN) -> None:
+    def __init__(self, model: DDNN, precision: str = "float64") -> None:
+        if precision not in PRECISIONS:
+            raise ValueError(
+                f"unknown precision {precision!r}; expected one of {PRECISIONS}"
+            )
+        self.precision = precision
+        self.dtype = precision_dtype(precision)
         self.num_devices = model.config.num_devices
         self.exit_names = list(model.exit_names)
         self.has_local_exit = model.has_local_exit
         self.has_edge = model.has_edge
 
-        self.device_branches = [CompiledBranch(branch) for branch in model.device_branches]
+        self.device_branches = [
+            CompiledBranch(branch, precision=precision)
+            for branch in model.device_branches
+        ]
         self.local_aggregator: Optional[CompiledAggregator] = (
             compile_aggregator(model.local_aggregator) if model.has_local_exit else None
         )
@@ -176,14 +233,31 @@ class CompiledDDNN:
         self.edge_device_groups: List[List[int]] = []
         self.edge_exit_aggregator: Optional[CompiledAggregator] = None
         if model.has_edge:
-            for aggregator, edge in zip(model._edge_aggregators, model.edge_models):
-                self.edge_aggregators.append(compile_aggregator(aggregator))
-                self.edge_tiers.append(CompiledTier(edge, name="edge"))
             self.edge_device_groups = [list(group) for group in model.edge_device_groups]
+            for aggregator, edge, group in zip(
+                model._edge_aggregators, model.edge_models, self.edge_device_groups
+            ):
+                signed = _aggregator_preserves_sign(aggregator) and all(
+                    self.device_branches[i].output_signed for i in group
+                )
+                self.edge_aggregators.append(compile_aggregator(aggregator))
+                self.edge_tiers.append(
+                    CompiledTier(edge, name="edge", precision=precision, input_signed=signed)
+                )
             self.edge_exit_aggregator = compile_aggregator(model.edge_exit_aggregator)
 
+        cloud_sources_signed = (
+            all(tier.output_signed for tier in self.edge_tiers)
+            if model.has_edge
+            else all(branch.output_signed for branch in self.device_branches)
+        )
+        cloud_signed = (
+            _aggregator_preserves_sign(model.cloud_aggregator) and cloud_sources_signed
+        )
         self.cloud_aggregator = compile_aggregator(model.cloud_aggregator)
-        self.cloud = CompiledTier(model.cloud, name="cloud")
+        self.cloud = CompiledTier(
+            model.cloud, name="cloud", precision=precision, input_signed=cloud_signed
+        )
 
     # -- operator timing hook ------------------------------------------- #
     def plans(self) -> List[CompiledPlan]:
@@ -225,11 +299,11 @@ class CompiledDDNN:
     def _split_views(self, views: ViewsLike) -> List[np.ndarray]:
         if isinstance(views, (list, tuple)):
             arrays = [
-                np.asarray(v.data if isinstance(v, Tensor) else v, dtype=np.float64)
+                np.asarray(v.data if isinstance(v, Tensor) else v, dtype=self.dtype)
                 for v in views
             ]
         else:
-            array = np.asarray(views, dtype=np.float64)
+            array = np.asarray(views, dtype=self.dtype)
             if array.ndim != 5:
                 raise ValueError(f"expected views of shape (N, D, C, H, W), got {array.shape}")
             arrays = [array[:, index] for index in range(array.shape[1])]
@@ -294,41 +368,160 @@ class CompiledDDNN:
     __call__ = forward
 
 
-def compile_ddnn(model: DDNN) -> CompiledDDNN:
-    """Compile a trained DDNN into an inference-only :class:`CompiledDDNN`."""
-    return CompiledDDNN(model)
+def compile_ddnn(model: DDNN, precision: str = "float64") -> CompiledDDNN:
+    """Compile a trained DDNN into an inference-only :class:`CompiledDDNN`.
+
+    ``precision`` selects the compute mode — ``"float64"`` (exact default),
+    ``"float32"`` (fp32 buffers/GEMMs at fp32 tolerance) or ``"bitpacked"``
+    (XNOR+popcount kernels on the binary blocks, bit-identical to float64).
+    """
+    return CompiledDDNN(model, precision=precision)
+
+
+#: Default per-mode allclose tolerances for :func:`verify_compiled`.
+_VERIFY_TOLERANCES = {
+    "float64": (1e-5, 1e-6),
+    "float32": (1e-3, 1e-4),
+    "bitpacked": (1e-5, 1e-6),
+}
+
+#: Uniform entropy thresholds swept by the fp32 routing-agreement check
+#: when the caller does not pin specific cascade thresholds.
+_AGREEMENT_THRESHOLD_GRID = (0.1, 0.25, 0.5, 0.75, 0.9)
+
+
+def _routed_exits(
+    exit_logits: Sequence[np.ndarray], thresholds: Sequence[float]
+) -> np.ndarray:
+    """Per-sample chosen exit index under the entropy-threshold cascade.
+
+    Pure-numpy replay of the :class:`~repro.core.cascade.ExitCascade` rule:
+    take the first exit whose normalized entropy is at or below its
+    threshold; the deepest exit takes whatever remains.
+    """
+    num_exits = len(exit_logits)
+    count = exit_logits[0].shape[0]
+    chosen = np.full(count, num_exits - 1, dtype=np.int64)
+    undecided = np.ones(count, dtype=bool)
+    for index, threshold in enumerate(thresholds[: num_exits - 1]):
+        logits = np.asarray(exit_logits[index], dtype=np.float64)
+        entropy = normalized_entropy(softmax_probabilities(logits))
+        taken = undecided & (entropy <= threshold)
+        chosen[taken] = index
+        undecided &= ~taken
+    return chosen
+
+
+def routing_agreement(
+    reference_logits: Sequence[np.ndarray],
+    candidate_logits: Sequence[np.ndarray],
+    thresholds: Optional[Sequence[float]] = None,
+) -> float:
+    """Fraction of (sample, threshold) routing decisions that agree.
+
+    With ``thresholds=None`` the agreement is pooled over a uniform grid of
+    entropy thresholds, exercising several decision boundaries instead of
+    one; pass explicit cascade thresholds to check a specific deployment.
+    """
+    num_exits = len(reference_logits)
+    if num_exits != len(candidate_logits):
+        raise ValueError("reference and candidate must have the same exits")
+    grids = (
+        [[value] * (num_exits - 1) for value in _AGREEMENT_THRESHOLD_GRID]
+        if thresholds is None
+        else [list(thresholds)]
+    )
+    agree = 0
+    total = 0
+    for grid in grids:
+        reference = _routed_exits(reference_logits, grid)
+        candidate = _routed_exits(candidate_logits, grid)
+        agree += int(np.count_nonzero(reference == candidate))
+        total += reference.shape[0]
+    return agree / total if total else 1.0
 
 
 def verify_compiled(
     model: DDNN,
     compiled: CompiledDDNN,
     views: np.ndarray,
-    rtol: float = 1e-5,
-    atol: float = 1e-6,
+    rtol: Optional[float] = None,
+    atol: Optional[float] = None,
+    precision: Optional[str] = None,
+    thresholds: Optional[Sequence[float]] = None,
+    min_routing_agreement: float = 0.999,
 ) -> float:
-    """Assert compiled and eager exit logits agree; return the max abs diff.
+    """Assert the compiled model honors its precision-mode guarantee.
 
-    This is the numerical-equivalence guarantee behind the ``compile=True``
-    knobs: per-exit logits must agree within float32-level tolerance (BN
-    folding re-associates arithmetic, so bitwise equality is not expected at
-    folded exits).  Raises :class:`AssertionError` on divergence.
+    Returns the max abs per-exit logit difference vs the eager forward.
+    Per-mode guarantees (each raises :class:`AssertionError` on violation):
+
+    * ``"float64"`` — the unchanged default: per-exit logits allclose to
+      eager at float32-level tolerance (BN folding re-associates arithmetic,
+      so bitwise equality is not expected at folded exits); routing is
+      byte-identical by the cascade's construction on these logits.
+    * ``"float32"`` — per-exit logits allclose to eager at fp32 tolerance,
+      plus entropy-threshold routing agreement >= ``min_routing_agreement``
+      (99.9% by default) against the fp64 logits, pooled over a threshold
+      grid (or the explicit ``thresholds``).
+    * ``"bitpacked"`` — every exit's logits must be *bit-identical* to a
+      freshly compiled float64 model (±1 dot products are exact integers in
+      either representation), and therefore inherit the float64 guarantee.
     """
+    if precision is None:
+        precision = getattr(compiled, "precision", "float64")
+    elif precision != getattr(compiled, "precision", "float64"):
+        raise ValueError(
+            f"verify_compiled(precision={precision!r}) does not match the "
+            f"compiled model's precision {compiled.precision!r}"
+        )
+    default_rtol, default_atol = _VERIFY_TOLERANCES[precision]
+    rtol = default_rtol if rtol is None else rtol
+    atol = default_atol if atol is None else atol
+
     model.eval()
     with no_grad():
         eager = model(views)
     fast = compiled(views)
+
+    if precision == "bitpacked":
+        reference = CompiledDDNN(model, precision="float64")(views)
+        for name, reference_logits, fast_logits in zip(
+            reference.exit_names, reference.exit_logits, fast.exit_logits
+        ):
+            np.testing.assert_array_equal(
+                fast_logits,
+                reference_logits,
+                err_msg=(
+                    f"bitpacked '{name}' exit logits are not bit-identical "
+                    "to the float64 compiled path"
+                ),
+            )
+
     worst = 0.0
     for name, eager_logits, fast_logits in zip(
         eager.exit_names, eager.exit_logits, fast.exit_logits
     ):
         eager_data = eager_logits.data
+        fast_data = np.asarray(fast_logits, dtype=np.float64)
         np.testing.assert_allclose(
-            fast_logits,
+            fast_data,
             eager_data,
             rtol=rtol,
             atol=atol,
             err_msg=f"compiled '{name}' exit logits diverged from eager",
         )
-        diff = float(np.max(np.abs(fast_logits - eager_data))) if eager_data.size else 0.0
+        diff = float(np.max(np.abs(fast_data - eager_data))) if eager_data.size else 0.0
         worst = max(worst, diff)
+
+    if precision == "float32":
+        agreement = routing_agreement(
+            [logits.data for logits in eager.exit_logits],
+            list(fast.exit_logits),
+            thresholds=thresholds,
+        )
+        assert agreement >= min_routing_agreement, (
+            f"float32 routing agreement {agreement:.6f} below the "
+            f"{min_routing_agreement:.3%} floor vs the fp64 oracle"
+        )
     return worst

@@ -18,6 +18,19 @@ eager BatchNorm/activation code.  Folded ops (BatchNorm absorbed into conv
 or linear weights) and the shift-add conv strategy are equivalent up to
 float rounding — and remain *exact* on the binary interior blocks, whose
 ±1 arithmetic stays integral in float64 under any summation order.
+
+Precision modes: every op takes a ``dtype`` (float64 by default — the exact
+mode above; float32 halves memory traffic at fp32 tolerance).  In fp32 mode
+the im2col gather is additionally *cache-blocked* along the output rows so
+the column scratch stays L2-resident; fp64 never blocks, because splitting
+the GEMM would change BLAS summation order and break the bit-identity
+contract.  :class:`PackedConvOp` / :class:`PackedLinearOp` are the
+``"bitpacked"`` kernels for binary blocks whose inputs are provably ±1:
+signs are packed 64-per-word into ``uint64``, the GEMM becomes XNOR +
+popcount (``dot = K - 2 * popcount(a ^ b)``), and zero padding is restored
+by a per-position integer correction precomputed at prepare time.  Because
+±1 dot products are exact small integers in float64, the packed kernels are
+*bit-identical* to the float path — not merely close.
 """
 
 from __future__ import annotations
@@ -37,16 +50,91 @@ __all__ = [
     "MaxPoolOp",
     "AvgPoolOp",
     "BatchNormOp",
+    "PackedConvOp",
+    "PackedLinearOp",
     "ReluOp",
     "SignOp",
     "SigmoidOp",
     "TanhOp",
     "FlattenOp",
+    "PRECISIONS",
+    "precision_dtype",
 ]
 
 
 class CompileError(RuntimeError):
     """A module or module sequence that the plan compiler cannot handle."""
+
+
+#: Supported compute precision modes for compiled plans, with their
+#: documented guarantees (enforced by ``repro.compile.ddnn.verify_compiled``):
+#:
+#: * ``"float64"`` — the exact default: byte-identical routing vs eager.
+#: * ``"float32"`` — fp32 weights/buffers/GEMMs; routing agreement >= 99.9%
+#:   vs the fp64 oracle, per-exit logits allclose at fp32 tolerance.
+#: * ``"bitpacked"`` — float64 carriers everywhere, but binary blocks with
+#:   provably-±1 inputs run the uint64 XNOR+popcount GEMM; bit-identical to
+#:   the float sign path (±1 dots are exact integers in float64).
+PRECISIONS = ("float64", "float32", "bitpacked")
+
+#: Cache-block budget (bytes) for the fp32 im2col column scratch.
+_IM2COL_BLOCK_BYTES = 1 << 20
+
+
+def precision_dtype(precision: str) -> np.dtype:
+    """The float carrier dtype of a precision mode (validates the name)."""
+    if precision not in PRECISIONS:
+        raise ValueError(
+            f"unknown precision {precision!r}; expected one of {PRECISIONS}"
+        )
+    return np.dtype(np.float32 if precision == "float32" else np.float64)
+
+
+#: Per-byte popcount lookup table for the bitpacked GEMM (fallback when the
+#: native ``np.bitwise_count`` ufunc — numpy >= 2.0 — is unavailable).
+_POPCOUNT8 = np.array([bin(value).count("1") for value in range(256)], dtype=np.uint8)
+
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+
+def _popcount_words(xor: np.ndarray, pop: np.ndarray, counts: np.ndarray) -> None:
+    """Sum the 1-bits of each row of uint64 words into ``counts``.
+
+    ``xor`` is ``(..., words)`` uint64; ``pop`` is the uint8 scratch —
+    ``(..., words)`` with native popcount, ``(..., words * 8)`` (a byte view
+    lookup) on the table fallback; ``counts`` is ``(...,)`` int64.  The
+    last-axis reduction is unrolled: the word count is tiny (K/64), and a
+    handful of full-array adds beats ``np.sum``'s short-axis reduction
+    machinery by a wide margin.
+    """
+    if _HAS_BITWISE_COUNT:
+        np.bitwise_count(xor, out=pop)
+    else:
+        np.take(_POPCOUNT8, xor.view(np.uint8), out=pop)
+    np.copyto(counts, pop[..., 0])
+    for word in range(1, pop.shape[-1]):
+        counts += pop[..., word]
+
+
+def _popcount_scratch_width(words: int) -> int:
+    """Last-axis width of the uint8 popcount scratch for ``words`` words."""
+    return words if _HAS_BITWISE_COUNT else words * 8
+
+
+def _pack_sign_rows(weight_matrix: np.ndarray) -> Tuple[np.ndarray, int]:
+    """Pack the signs of a ±1 ``(rows, K)`` matrix into ``(rows, W)`` uint64.
+
+    Bit convention: 1 iff the value is positive.  The byte tail past
+    ``ceil(K/8)`` stays zero, so two operands packed this way never disagree
+    on the padding bits and the popcount counts mismatches over the valid
+    ``K`` positions only.
+    """
+    rows, k = weight_matrix.shape
+    words = max(1, -(-k // 64))
+    packed_u8 = np.zeros((rows, words * 8), dtype=np.uint8)
+    bits = np.packbits(weight_matrix > 0, axis=-1)
+    packed_u8[:, : bits.shape[-1]] = bits
+    return packed_u8.view(np.uint64), words
 
 
 class Arena:
@@ -58,31 +146,34 @@ class Arena:
     without re-allocating each other's buffers.  ``fill`` is applied only
     on allocation: padded scratch buffers keep their constant border (zeros
     for convolution, ``-inf`` for max pooling) because the ops only ever
-    overwrite the interior.
+    overwrite the interior.  The arena carries the plan's float dtype
+    (float64 by default, float32 in fp32 mode); non-float scratch (sign
+    masks, packed words, popcount bytes) requests an explicit dtype.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, dtype: np.dtype = np.float64) -> None:
+        self.dtype = np.dtype(dtype)
         self._buffers: Dict[object, np.ndarray] = {}
 
     def buffer(
-        self, key: object, shape: Tuple[int, ...], fill: Optional[float] = None
+        self,
+        key: object,
+        shape: Tuple[int, ...],
+        fill: Optional[float] = None,
+        dtype: Optional[np.dtype] = None,
     ) -> np.ndarray:
-        pool_key = (key, tuple(shape))
+        dtype = self.dtype if dtype is None else np.dtype(dtype)
+        pool_key = (key, tuple(shape), dtype.str)
         buf = self._buffers.get(pool_key)
         if buf is None:
-            buf = np.empty(shape, dtype=np.float64)
+            buf = np.empty(shape, dtype=dtype)
             if fill is not None:
                 buf.fill(fill)
             self._buffers[pool_key] = buf
         return buf
 
     def bool_buffer(self, key: object, shape: Tuple[int, ...]) -> np.ndarray:
-        pool_key = (key, tuple(shape), bool)
-        buf = self._buffers.get(pool_key)
-        if buf is None:
-            buf = np.empty(shape, dtype=bool)
-            self._buffers[pool_key] = buf
-        return buf
+        return self.buffer(key, shape, dtype=bool)
 
 
 def _window_position_slices(source: np.ndarray, kernel: int, stride: int) -> list:
@@ -146,10 +237,12 @@ class ConvOp(_Op):
         stride: int,
         padding: int,
         relu: bool = False,
+        dtype: np.dtype = np.float64,
     ) -> None:
-        self.weight = np.ascontiguousarray(weight, dtype=np.float64)
+        self.dtype = np.dtype(dtype)
+        self.weight = np.ascontiguousarray(weight, dtype=self.dtype)
         self.out_channels, self.in_channels, self.kernel_h, self.kernel_w = self.weight.shape
-        self.bias = None if bias is None else np.asarray(bias, dtype=np.float64)
+        self.bias = None if bias is None else np.asarray(bias, dtype=self.dtype)
         self.stride = int(stride)
         self.padding = int(padding)
         self.relu = bool(relu)
@@ -197,10 +290,6 @@ class ConvOp(_Op):
             ]
         else:
             window = channels * self.kernel_h * self.kernel_w
-            ctx.cols = arena.buffer((key, "cols"), (batch, window, out_h * out_w))
-            ctx.cols6 = ctx.cols.reshape(
-                batch, channels, self.kernel_h, self.kernel_w, out_h, out_w
-            )
             # The window view over the persistent padded buffer never moves;
             # compute it once per (plan, shape) instead of once per batch.
             ctx.windows = (
@@ -208,7 +297,48 @@ class ConvOp(_Op):
                 if ctx.padded is not None
                 else None
             )
+            ctx.blocks = None
+            rows = self._block_rows(batch, window, out_h, out_w)
+            if rows < out_h:
+                ctx.blocks = []
+                for start in range(0, out_h, rows):
+                    stop = min(start + rows, out_h)
+                    count = stop - start
+                    cols = arena.buffer(
+                        (key, "cols", count), (batch, window, count * out_w)
+                    )
+                    cols6 = cols.reshape(
+                        batch, channels, self.kernel_h, self.kernel_w, count, out_w
+                    )
+                    block_out = arena.buffer(
+                        (key, "blk", count), (batch, self.out_channels, count * out_w)
+                    )
+                    block_out4 = block_out.reshape(
+                        batch, self.out_channels, count, out_w
+                    )
+                    out_slice = ctx.out4[:, :, start:stop, :]
+                    ctx.blocks.append((start, stop, cols, cols6, block_out, block_out4, out_slice))
+            else:
+                ctx.cols = arena.buffer((key, "cols"), (batch, window, out_h * out_w))
+                ctx.cols6 = ctx.cols.reshape(
+                    batch, channels, self.kernel_h, self.kernel_w, out_h, out_w
+                )
         return ctx
+
+    def _block_rows(self, batch: int, window: int, out_h: int, out_w: int) -> int:
+        """Output rows per im2col block.
+
+        fp64 never blocks — splitting the GEMM changes BLAS summation
+        composition and would break the bit-identity contract.  fp32 blocks
+        whenever the full column scratch would exceed the block budget, so
+        the gathered operand stays cache-resident.
+        """
+        if self.dtype == np.float64:
+            return out_h
+        row_bytes = batch * window * out_w * self.dtype.itemsize
+        if row_bytes * out_h <= _IM2COL_BLOCK_BYTES:
+            return out_h
+        return max(1, _IM2COL_BLOCK_BYTES // row_bytes)
 
     def run(self, x: np.ndarray, ctx: SimpleNamespace) -> np.ndarray:
         if ctx.padded is not None:
@@ -230,8 +360,14 @@ class ConvOp(_Op):
                 if ctx.windows is not None
                 else sliding_windows(source, self.kernel_h, self.kernel_w, self.stride)
             )
-            np.copyto(ctx.cols6, windows.transpose(0, 1, 4, 5, 2, 3))
-            np.matmul(self._weight_matrix, ctx.cols, out=ctx.out)
+            if ctx.blocks is None:
+                np.copyto(ctx.cols6, windows.transpose(0, 1, 4, 5, 2, 3))
+                np.matmul(self._weight_matrix, ctx.cols, out=ctx.out)
+            else:
+                for start, stop, cols, cols6, block_out, block_out4, out_slice in ctx.blocks:
+                    np.copyto(cols6, windows[:, :, start:stop].transpose(0, 1, 4, 5, 2, 3))
+                    np.matmul(self._weight_matrix, cols, out=block_out)
+                    np.copyto(out_slice, block_out4)
         if self.bias is not None:
             ctx.out += self.bias[:, None]
         if self.relu:
@@ -252,11 +388,13 @@ class LinearOp(_Op):
         weight: np.ndarray,
         bias: Optional[np.ndarray],
         relu: bool = False,
+        dtype: np.dtype = np.float64,
     ) -> None:
-        self.weight = np.ascontiguousarray(weight, dtype=np.float64)
+        self.dtype = np.dtype(dtype)
+        self.weight = np.ascontiguousarray(weight, dtype=self.dtype)
         self.out_features, self.in_features = self.weight.shape
         self._weight_t = self.weight.transpose()
-        self.bias = None if bias is None else np.asarray(bias, dtype=np.float64)
+        self.bias = None if bias is None else np.asarray(bias, dtype=self.dtype)
         self.relu = bool(relu)
 
     def prepare(self, shape: Tuple[int, ...], arena: Arena, key: object) -> SimpleNamespace:
@@ -358,9 +496,17 @@ class BatchNormOp(_Op):
 
     Used when the BatchNorm could not be folded into a preceding linear op —
     in particular when a sign activation follows, where re-associated
-    arithmetic could flip a borderline sign.  Computes
-    ``(x - mean) / std * gamma + beta`` with exactly the eager sequence of
-    broadcast elementwise ops, then the optional fused sign/ReLU epilogue.
+    arithmetic could flip a borderline sign.  In exact (float64/bitpacked)
+    modes it computes ``(x - mean) / std * gamma + beta`` with exactly the
+    eager sequence of broadcast elementwise ops, then the optional fused
+    sign/ReLU epilogue.
+
+    In ``float32`` mode — where the guarantee is tolerance-based, not
+    bitwise — the four broadcast ops collapse to the pre-computed affine
+    ``x * scale + shift`` (two dispatches) and the 3-dispatch sign epilogue
+    to a single ``np.copysign``; at serving batch sizes the per-op numpy
+    dispatch cost rivals the array work, so halving the dispatch count is
+    where much of fp32's batch-1 latency win comes from.
     """
 
     def __init__(
@@ -371,28 +517,54 @@ class BatchNormOp(_Op):
         beta: np.ndarray,
         sign: bool = False,
         relu: bool = False,
+        dtype: np.dtype = np.float64,
     ) -> None:
-        self.mean = np.asarray(mean, dtype=np.float64)
-        self.std = np.asarray(std, dtype=np.float64)
-        self.gamma = np.asarray(gamma, dtype=np.float64)
-        self.beta = np.asarray(beta, dtype=np.float64)
+        self.dtype = np.dtype(dtype)
+        self.mean = np.asarray(mean, dtype=self.dtype)
+        self.std = np.asarray(std, dtype=self.dtype)
+        self.gamma = np.asarray(gamma, dtype=self.dtype)
+        self.beta = np.asarray(beta, dtype=self.dtype)
         self.sign = bool(sign)
         self.relu = bool(relu)
+        self._exact = self.dtype == np.float64
+        if not self._exact:
+            # Affine fold in float64, cast once: y = x * scale + shift.
+            scale = np.asarray(gamma, dtype=np.float64) / np.asarray(std, dtype=np.float64)
+            shift = np.asarray(beta, dtype=np.float64) - np.asarray(
+                mean, dtype=np.float64
+            ) * scale
+            self._scale = scale.astype(self.dtype)
+            self._shift = shift.astype(self.dtype)
 
     def prepare(self, shape: Tuple[int, ...], arena: Arena, key: object) -> SimpleNamespace:
         return SimpleNamespace(
             output_shape=tuple(shape),
             out=arena.buffer((key, "out"), shape),
-            mask=arena.bool_buffer((key, "mask"), shape) if self.sign else None,
+            mask=(
+                arena.bool_buffer((key, "mask"), shape)
+                if self.sign and self._exact
+                else None
+            ),
         )
 
     def run(self, x: np.ndarray, ctx: SimpleNamespace) -> np.ndarray:
-        np.subtract(x, self.mean, out=ctx.out)
-        np.divide(ctx.out, self.std, out=ctx.out)
-        np.multiply(ctx.out, self.gamma, out=ctx.out)
-        np.add(ctx.out, self.beta, out=ctx.out)
+        if self._exact:
+            np.subtract(x, self.mean, out=ctx.out)
+            np.divide(ctx.out, self.std, out=ctx.out)
+            np.multiply(ctx.out, self.gamma, out=ctx.out)
+            np.add(ctx.out, self.beta, out=ctx.out)
+            if self.sign:
+                _sign_inplace(ctx.out, ctx.mask)
+            elif self.relu:
+                np.maximum(ctx.out, 0.0, out=ctx.out)
+            return ctx.out
+        np.multiply(x, self._scale, out=ctx.out)
+        np.add(ctx.out, self._shift, out=ctx.out)
         if self.sign:
-            _sign_inplace(ctx.out, ctx.mask)
+            # copysign(1, -0.0) is -1 where the eager rule gives +1; exact
+            # zeros are vanishingly rare in fp32 BN output and covered by
+            # the mode's routing-agreement tolerance.
+            np.copysign(self.dtype.type(1.0), ctx.out, out=ctx.out)
         elif self.relu:
             np.maximum(ctx.out, 0.0, out=ctx.out)
         return ctx.out
@@ -452,3 +624,192 @@ class FlattenOp(_Op):
 
     def run(self, x: np.ndarray, ctx: SimpleNamespace) -> np.ndarray:
         return x.reshape(ctx.output_shape)
+
+
+class PackedConvOp(_Op):
+    """Bitpacked XNOR+popcount convolution for ±1 weights over ±1 inputs.
+
+    Signs of the im2col windows are packed 64-per-word into ``uint64``; each
+    output channel is then ``dot = K - 2 * popcount(act ^ weight)``, with
+    popcount as a per-byte table lookup.  The packed operand is 64x smaller
+    than either float layout, so the existing stride/channel memory-traffic
+    rule that picks between shift-add and im2col collapses here: packed wins
+    both regimes and is always used for eligible binary blocks.
+
+    Zero padding cannot be represented in one bit, so padded window
+    positions are packed as ``-1`` and repaired by an integer correction
+    ``corr[o, p] = sum of w[o, k] over the padded positions of window p``,
+    precomputed per shape.  All quantities are exact small integers in
+    float64, making the op bit-identical to the float sign path.
+    """
+
+    def __init__(
+        self,
+        weight: np.ndarray,
+        bias: Optional[np.ndarray],
+        stride: int,
+        padding: int,
+        relu: bool = False,
+        dtype: np.dtype = np.float64,
+    ) -> None:
+        self.dtype = np.dtype(dtype)
+        self.weight = np.ascontiguousarray(weight, dtype=np.float64)
+        self.out_channels, self.in_channels, self.kernel_h, self.kernel_w = self.weight.shape
+        self.bias = None if bias is None else np.asarray(bias, dtype=self.dtype)
+        self.stride = int(stride)
+        self.padding = int(padding)
+        self.relu = bool(relu)
+        self._weight_matrix = self.weight.reshape(self.out_channels, -1)
+        self.k_valid = self._weight_matrix.shape[1]
+        self._weight_packed, self._words = _pack_sign_rows(self._weight_matrix)
+
+    def prepare(self, shape: Tuple[int, ...], arena: Arena, key: object) -> SimpleNamespace:
+        batch, channels, height, width = shape
+        if channels != self.in_channels:
+            raise CompileError(
+                f"conv expects {self.in_channels} input channels, got {channels}"
+            )
+        out_h = conv_output_size(height, self.kernel_h, self.stride, self.padding)
+        out_w = conv_output_size(width, self.kernel_w, self.stride, self.padding)
+        if out_h < 1 or out_w < 1:
+            raise CompileError(f"conv output collapses to {out_h}x{out_w}")
+        pad = self.padding
+        padded_h, padded_w = height + 2 * pad, width + 2 * pad
+        positions = out_h * out_w
+        words = self._words
+        ctx = SimpleNamespace(output_shape=(batch, self.out_channels, out_h, out_w))
+        # Signs are taken on the compact (padded) source — kh*kw times fewer
+        # elements than the expanded window view — and the im2col gather then
+        # moves 1-byte bools instead of 8-byte floats.  The padded border is
+        # pre-filled False (= the packed -1 the correction term repairs) and
+        # never written again.
+        ctx.source_bits = arena.buffer(
+            (key, "sbits"), (batch, channels, padded_h, padded_w), fill=0, dtype=bool
+        )
+        ctx.interior_bits = (
+            ctx.source_bits[:, :, pad:-pad, pad:-pad] if pad else ctx.source_bits
+        )
+        ctx.bit_windows = sliding_windows(
+            ctx.source_bits, self.kernel_h, self.kernel_w, self.stride
+        )
+        ctx.bits6 = arena.bool_buffer(
+            (key, "bits"), (batch, out_h, out_w, channels, self.kernel_h, self.kernel_w)
+        )
+        ctx.bits3 = ctx.bits6.reshape(batch, positions, self.k_valid)
+        # Packed activations: the byte tail past ceil(K/8) is zero-filled at
+        # allocation and never written, so it XORs clean against the weights'
+        # matching zero tail.
+        ctx.act = arena.buffer(
+            (key, "act"), (batch, positions, words), fill=0, dtype=np.uint64
+        )
+        ctx.act_u8 = ctx.act.view(np.uint8)
+        ctx.xor = arena.buffer(
+            (key, "xor"), (batch, self.out_channels, positions, words), dtype=np.uint64
+        )
+        ctx.pop = arena.buffer(
+            (key, "pop"),
+            (batch, self.out_channels, positions, _popcount_scratch_width(words)),
+            dtype=np.uint8,
+        )
+        ctx.counts = arena.buffer(
+            (key, "cnt"), (batch, self.out_channels, positions), dtype=np.int64
+        )
+        ctx.out = arena.buffer((key, "out"), (batch, self.out_channels, positions))
+        ctx.out4 = ctx.out.reshape(batch, self.out_channels, out_h, out_w)
+        ctx.corr = self._pad_correction(channels, padded_h, padded_w, positions) if pad else None
+        return ctx
+
+    def _pad_correction(
+        self, channels: int, padded_h: int, padded_w: int, positions: int
+    ) -> np.ndarray:
+        """Exact integer ``(out_channels, positions)`` zero-padding repair."""
+        pad = self.padding
+        mask = np.ones((1, channels, padded_h, padded_w), dtype=np.float64)
+        mask[:, :, pad:-pad, pad:-pad] = 0.0
+        mask_windows = sliding_windows(mask, self.kernel_h, self.kernel_w, self.stride)
+        mask_cols = np.ascontiguousarray(
+            mask_windows.transpose(0, 1, 4, 5, 2, 3)
+        ).reshape(self.k_valid, positions)
+        return self._weight_matrix @ mask_cols
+
+    def run(self, x: np.ndarray, ctx: SimpleNamespace) -> np.ndarray:
+        np.greater(x, 0.0, out=ctx.interior_bits)
+        np.copyto(ctx.bits6, ctx.bit_windows.transpose(0, 2, 3, 1, 4, 5))
+        packed = np.packbits(ctx.bits3, axis=-1)
+        ctx.act_u8[..., : packed.shape[-1]] = packed
+        np.bitwise_xor(
+            ctx.act[:, None, :, :],
+            self._weight_packed[None, :, None, :],
+            out=ctx.xor,
+        )
+        _popcount_words(ctx.xor, ctx.pop, ctx.counts)
+        np.multiply(ctx.counts, -2.0, out=ctx.out)
+        ctx.out += float(self.k_valid)
+        if ctx.corr is not None:
+            ctx.out += ctx.corr
+        if self.bias is not None:
+            ctx.out += self.bias[:, None]
+        if self.relu:
+            np.maximum(ctx.out, 0.0, out=ctx.out)
+        return ctx.out4
+
+
+class PackedLinearOp(_Op):
+    """Bitpacked XNOR+popcount fully connected layer for ±1 weights/inputs.
+
+    One broadcast XOR of the packed ``(batch, words)`` activations against
+    the packed ``(out_features, words)`` weights, then the same popcount
+    reduction as :class:`PackedConvOp`.  Exact integers, bit-identical to
+    the float path.
+    """
+
+    def __init__(
+        self,
+        weight: np.ndarray,
+        bias: Optional[np.ndarray],
+        relu: bool = False,
+        dtype: np.dtype = np.float64,
+    ) -> None:
+        self.dtype = np.dtype(dtype)
+        self.weight = np.ascontiguousarray(weight, dtype=np.float64)
+        self.out_features, self.in_features = self.weight.shape
+        self._weight_packed, self._words = _pack_sign_rows(self.weight)
+        self.bias = None if bias is None else np.asarray(bias, dtype=self.dtype)
+        self.relu = bool(relu)
+
+    def prepare(self, shape: Tuple[int, ...], arena: Arena, key: object) -> SimpleNamespace:
+        batch, features = shape
+        if features != self.in_features:
+            raise CompileError(
+                f"linear expects {self.in_features} input features, got {features}"
+            )
+        words = self._words
+        ctx = SimpleNamespace(output_shape=(batch, self.out_features))
+        ctx.bits = arena.bool_buffer((key, "bits"), (batch, features))
+        ctx.act = arena.buffer((key, "act"), (batch, words), fill=0, dtype=np.uint64)
+        ctx.act_u8 = ctx.act.view(np.uint8)
+        ctx.xor = arena.buffer(
+            (key, "xor"), (batch, self.out_features, words), dtype=np.uint64
+        )
+        ctx.pop = arena.buffer(
+            (key, "pop"),
+            (batch, self.out_features, _popcount_scratch_width(words)),
+            dtype=np.uint8,
+        )
+        ctx.counts = arena.buffer((key, "cnt"), (batch, self.out_features), dtype=np.int64)
+        ctx.out = arena.buffer((key, "out"), (batch, self.out_features))
+        return ctx
+
+    def run(self, x: np.ndarray, ctx: SimpleNamespace) -> np.ndarray:
+        np.greater(x, 0.0, out=ctx.bits)
+        packed = np.packbits(ctx.bits, axis=-1)
+        ctx.act_u8[:, : packed.shape[-1]] = packed
+        np.bitwise_xor(ctx.act[:, None, :], self._weight_packed[None, :, :], out=ctx.xor)
+        _popcount_words(ctx.xor, ctx.pop, ctx.counts)
+        np.multiply(ctx.counts, -2.0, out=ctx.out)
+        ctx.out += float(self.in_features)
+        if self.bias is not None:
+            ctx.out += self.bias
+        if self.relu:
+            np.maximum(ctx.out, 0.0, out=ctx.out)
+        return ctx.out

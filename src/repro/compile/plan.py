@@ -57,14 +57,23 @@ from .ops import (
     FlattenOp,
     LinearOp,
     MaxPoolOp,
+    PackedConvOp,
+    PackedLinearOp,
     ReluOp,
     SigmoidOp,
     SignOp,
     TanhOp,
     _Op,
+    precision_dtype,
 )
 
-__all__ = ["CompileError", "CompiledPlan", "OpTiming", "compile_plan", "flatten_modules"]
+__all__ = [
+    "CompileError",
+    "CompiledPlan",
+    "OpTiming",
+    "compile_plan",
+    "flatten_modules",
+]
 
 
 @dataclass(frozen=True)
@@ -137,10 +146,28 @@ def _linear_weights(linear) -> Tuple[np.ndarray, Optional[np.ndarray]]:
     return weight, bias
 
 
-def build_ops(primitives: Sequence[Module]) -> List[_Op]:
-    """Peephole pass: primitive layers -> fused/folded op list."""
+def build_ops(
+    primitives: Sequence[Module],
+    precision: str = "float64",
+    input_signed: bool = False,
+) -> Tuple[List[_Op], bool]:
+    """Peephole pass: primitive layers -> fused/folded op list.
+
+    Returns ``(ops, output_signed)`` where ``output_signed`` records whether
+    the plan's output is provably ±1 — the sign-propagation fact a caller
+    feeds into the next plan's ``input_signed`` (and the precondition for
+    the bitpacked kernels).  ``signed`` becomes true after a fused
+    BatchNorm+sign or bare sign op, survives max pooling and flattening
+    (which only move/select ±1 values), and is destroyed by everything
+    else.  In ``"bitpacked"`` mode a Binary conv/linear whose weights stayed
+    pure ±1 (no BatchNorm folded in) and whose input is signed compiles to
+    the XNOR+popcount kernel instead of the float GEMM.
+    """
+    dtype = precision_dtype(precision)
+    bitpack = precision == "bitpacked"
     primitives = list(primitives)
     ops: List[_Op] = []
+    signed = bool(input_signed)
     index = 0
     total = len(primitives)
 
@@ -152,6 +179,7 @@ def build_ops(primitives: Sequence[Module]) -> List[_Op]:
 
         if isinstance(module, (Conv2d, BinaryConv2d)):
             weight, bias = _conv_weights(module)
+            folded = False
             cursor = index + 1
             if isinstance(_at(cursor), BatchNorm2d) and not isinstance(
                 _at(cursor + 1), BinaryActivation
@@ -159,18 +187,33 @@ def build_ops(primitives: Sequence[Module]) -> List[_Op]:
                 scale, shift = _bn_scale_shift(_at(cursor))
                 weight = weight * scale[:, None, None, None]
                 bias = shift if bias is None else bias * scale + shift
+                folded = True
                 cursor += 1
             relu = isinstance(_at(cursor), ReLU)
             if relu:
                 cursor += 1
-            ops.append(
-                ConvOp(weight, bias, stride=module.stride, padding=module.padding, relu=relu)
+            conv_cls = (
+                PackedConvOp
+                if bitpack and signed and not folded and isinstance(module, BinaryConv2d)
+                else ConvOp
             )
+            ops.append(
+                conv_cls(
+                    weight,
+                    bias,
+                    stride=module.stride,
+                    padding=module.padding,
+                    relu=relu,
+                    dtype=dtype,
+                )
+            )
+            signed = False
             index = cursor
             continue
 
         if isinstance(module, (Linear, BinaryLinear)):
             weight, bias = _linear_weights(module)
+            folded = False
             cursor = index + 1
             if isinstance(_at(cursor), BatchNorm1d) and not isinstance(
                 _at(cursor + 1), BinaryActivation
@@ -178,11 +221,18 @@ def build_ops(primitives: Sequence[Module]) -> List[_Op]:
                 scale, shift = _bn_scale_shift(_at(cursor))
                 weight = weight * scale[:, None]
                 bias = shift if bias is None else bias * scale + shift
+                folded = True
                 cursor += 1
             relu = isinstance(_at(cursor), ReLU)
             if relu:
                 cursor += 1
-            ops.append(LinearOp(weight, bias, relu=relu))
+            linear_cls = (
+                PackedLinearOp
+                if bitpack and signed and not folded and isinstance(module, BinaryLinear)
+                else LinearOp
+            )
+            ops.append(linear_cls(weight, bias, relu=relu, dtype=dtype))
+            signed = False
             index = cursor
             continue
 
@@ -204,25 +254,34 @@ def build_ops(primitives: Sequence[Module]) -> List[_Op]:
                     beta=np.asarray(module.beta.data, dtype=np.float64).reshape(shape),
                     sign=sign,
                     relu=relu,
+                    dtype=dtype,
                 )
             )
+            signed = sign
             index += 2 if (sign or relu) else 1
             continue
 
         if isinstance(module, MaxPool2d):
             ops.append(MaxPoolOp(module.kernel_size, module.stride, module.padding))
+            # max over ±1 values (and a -inf border that never wins) is ±1.
         elif isinstance(module, AvgPool2d):
             ops.append(AvgPoolOp(module.kernel_size, module.stride, module.padding))
+            signed = False
         elif isinstance(module, ReLU):
             ops.append(ReluOp())
+            signed = False
         elif isinstance(module, BinaryActivation):
             ops.append(SignOp())
+            signed = True
         elif isinstance(module, Sigmoid):
             ops.append(SigmoidOp())
+            signed = False
         elif isinstance(module, Tanh):
             ops.append(TanhOp())
+            signed = False
         elif isinstance(module, Flatten):
             ops.append(FlattenOp())
+            # a reshape neither creates nor destroys ±1-ness.
         else:
             raise CompileError(
                 f"cannot compile module of type {type(module).__name__}; "
@@ -233,7 +292,7 @@ def build_ops(primitives: Sequence[Module]) -> List[_Op]:
             )
         index += 1
 
-    return ops
+    return ops, signed
 
 
 class CompiledPlan:
@@ -249,10 +308,20 @@ class CompiledPlan:
     until the next forward call with the same batch shape.
     """
 
-    def __init__(self, module: ModuleLike, name: str = "") -> None:
+    def __init__(
+        self,
+        module: ModuleLike,
+        name: str = "",
+        precision: str = "float64",
+        input_signed: bool = False,
+    ) -> None:
         self.name = name
-        self.ops = build_ops(flatten_modules(module))
-        self._arena = Arena()
+        self.precision = precision
+        self.dtype = precision_dtype(precision)
+        self.ops, self.output_signed = build_ops(
+            flatten_modules(module), precision=precision, input_signed=input_signed
+        )
+        self._arena = Arena(dtype=self.dtype)
         #: shape -> (list of (op, context) pairs, output shape)
         self._programs: dict = {}
         self._planned_shape: Optional[Tuple[int, ...]] = None
@@ -283,7 +352,7 @@ class CompiledPlan:
         return program
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        out = np.asarray(x, dtype=np.float64)
+        out = np.asarray(x, dtype=self.dtype)
         steps, _ = self._program_for(out.shape)
         if self._timed:
             return self._forward_timed(out, steps)
@@ -333,6 +402,18 @@ class CompiledPlan:
         ]
 
 
-def compile_plan(module: ModuleLike, name: str = "") -> CompiledPlan:
-    """Compile a module (or list of modules) into a :class:`CompiledPlan`."""
-    return CompiledPlan(module, name=name)
+def compile_plan(
+    module: ModuleLike,
+    name: str = "",
+    precision: str = "float64",
+    input_signed: bool = False,
+) -> CompiledPlan:
+    """Compile a module (or list of modules) into a :class:`CompiledPlan`.
+
+    ``precision`` selects the compute mode (see ``repro.compile.ops.
+    PRECISIONS``); ``input_signed`` tells the compiler the plan's input is
+    provably ±1 (a cross-plan fact — e.g. a classifier fed by a signed
+    feature extractor), unlocking bitpacked kernels for a leading binary
+    layer in ``"bitpacked"`` mode.
+    """
+    return CompiledPlan(module, name=name, precision=precision, input_signed=input_signed)

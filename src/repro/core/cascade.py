@@ -204,6 +204,11 @@ class ExitCascade:
     communication:
         Optional :class:`CommunicationModel` so the cascade can also account
         the per-device bytes implied by a local exit rate (paper Eq. 1).
+    precision:
+        Compute mode for the compiled path (one of
+        :data:`repro.compile.PRECISIONS`): exact ``"float64"`` (default),
+        tolerance-mode ``"float32"``, or ``"bitpacked"``.  Ignored unless
+        the compiled path is used.
     """
 
     def __init__(
@@ -212,20 +217,38 @@ class ExitCascade:
         exit_names: Sequence[str],
         communication: Optional[CommunicationModel] = None,
         compile: bool = False,
+        precision: str = "float64",
     ) -> None:
+        from ..compile.ops import PRECISIONS
+
+        if precision not in PRECISIONS:
+            raise ValueError(
+                f"unknown precision {precision!r}; expected one of {PRECISIONS}"
+            )
         self.exit_names = list(exit_names)
         self.criteria = build_exit_criteria(thresholds, self.exit_names)
         self.communication = communication
         self.compile_enabled = bool(compile)
+        self.precision = precision
         # Models this cascade has served compiled plans for, so a no-arg
         # invalidate_compiled() evicts exactly those from the shared cache.
         self._compiled_models: "weakref.WeakSet" = weakref.WeakSet()
 
     @classmethod
-    def for_model(cls, model, thresholds: Thresholds, compile: bool = False) -> "ExitCascade":
+    def for_model(
+        cls,
+        model,
+        thresholds: Thresholds,
+        compile: bool = False,
+        precision: str = "float64",
+    ) -> "ExitCascade":
         """Build a cascade matching a :class:`~repro.core.ddnn.DDNN`'s exits."""
         return cls(
-            thresholds, model.exit_names, CommunicationModel(model.config), compile=compile
+            thresholds,
+            model.exit_names,
+            CommunicationModel(model.config),
+            compile=compile,
+            precision=precision,
         )
 
     @property
@@ -242,19 +265,20 @@ class ExitCascade:
         return CascadeRouter(self.criteria, batch_size)
 
     # ------------------------------------------------------------------ #
-    def compiled_for(self, model):
+    def compiled_for(self, model, precision: Optional[str] = None):
         """The compiled inference plan for a model, from the shared cache.
 
-        Plans are memoized process-wide in :mod:`repro.compile.cache`, so
-        every cascade, engine and grid helper built over the same model
-        reuses one plan instead of recompiling.  The plan snapshots the
-        model's weights; call :meth:`invalidate_compiled` after (re)training
-        to force a rebuild.
+        Plans are memoized process-wide in :mod:`repro.compile.cache` keyed
+        by ``(model, precision)``, so every cascade, engine and grid helper
+        built over the same model at the same precision reuses one plan
+        instead of recompiling.  ``precision`` defaults to the cascade's
+        own mode.  The plan snapshots the model's weights; call
+        :meth:`invalidate_compiled` after (re)training to force a rebuild.
         """
         from ..compile.cache import compiled_plan_for
 
         self._compiled_models.add(model)
-        return compiled_plan_for(model)
+        return compiled_plan_for(model, precision or self.precision)
 
     def invalidate_compiled(self, model=None) -> None:
         """Drop the cached plan(s) this cascade served (after retraining).

@@ -114,6 +114,10 @@ class StagedInferenceEngine:
         If ``True``, forwards run through the :mod:`repro.compile` fused
         inference plan instead of the eager autograd stack (same
         predictions and routing, ~3-6x faster at serving batch sizes).
+    precision:
+        Compute mode for the compiled path (``"float64"`` exact default,
+        ``"float32"`` tolerance mode, ``"bitpacked"`` XNOR-popcount binary
+        blocks).  Only meaningful with ``compile=True``.
     """
 
     def __init__(
@@ -122,10 +126,13 @@ class StagedInferenceEngine:
         thresholds: Thresholds,
         batch_size: int = 64,
         compile: bool = False,
+        precision: str = "float64",
     ) -> None:
         self.model = model
         self.batch_size = batch_size
-        self.cascade = ExitCascade.for_model(model, thresholds, compile=compile)
+        self.cascade = ExitCascade.for_model(
+            model, thresholds, compile=compile, precision=precision
+        )
         self.communication = self.cascade.communication
 
     @property
@@ -170,7 +177,10 @@ def staged_inference(
     thresholds: Union[float, Sequence[float]],
     batch_size: int = 64,
     compile: bool = False,
+    precision: str = "float64",
 ) -> InferenceResult:
     """One-call helper: build an engine, run it on the dataset, return the result."""
-    engine = StagedInferenceEngine(model, thresholds, batch_size=batch_size, compile=compile)
+    engine = StagedInferenceEngine(
+        model, thresholds, batch_size=batch_size, compile=compile, precision=precision
+    )
     return engine.run(dataset)

@@ -153,6 +153,7 @@ class ExitOracle:
         targets: Optional[np.ndarray] = None,
         batch_size: int = 64,
         compile: bool = True,
+        precision: str = "float64",
     ) -> "ExitOracle":
         """Run the one batched forward pass and cache every exit's logits.
 
@@ -161,7 +162,10 @@ class ExitOracle:
         forward happens in ``batch_size`` chunks — the same chunks
         :class:`~repro.core.inference.StagedInferenceEngine` would use — so
         captured logits are byte-identical to what the engine at the same
-        ``compile`` setting would see.
+        ``compile`` setting would see.  ``precision`` selects the compiled
+        compute mode (exact ``"float64"`` default, tolerance ``"float32"``,
+        ``"bitpacked"``); the cached logit matrix is always stored as
+        float64 regardless of the compute mode.
         """
         if isinstance(dataset, MVMCDataset):
             views = dataset.images
@@ -174,7 +178,7 @@ class ExitOracle:
         if compile:
             from ..compile.cache import compiled_plan_for
 
-            plan = compiled_plan_for(model)
+            plan = compiled_plan_for(model, precision)
 
         num_samples = len(views)
         exit_names = list(model.exit_names)
@@ -213,6 +217,7 @@ class ExitOracle:
         batch_size: int = 64,
         compile: bool = False,
         oracle: Optional["ExitOracle"] = None,
+        precision: str = "float64",
     ) -> "ExitOracle":
         """Return ``oracle`` unchanged if given, else capture a fresh one.
 
@@ -221,7 +226,9 @@ class ExitOracle:
         """
         if oracle is not None:
             return oracle
-        return cls.capture(model, dataset, batch_size=batch_size, compile=compile)
+        return cls.capture(
+            model, dataset, batch_size=batch_size, compile=compile, precision=precision
+        )
 
     # ------------------------------------------------------------------ #
     @property

@@ -426,6 +426,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="timed rounds per cell (fastest kept)",
     )
     infer_parser.add_argument(
+        "--precision",
+        choices=("float64", "float32", "bitpacked"),
+        action="append",
+        dest="precisions",
+        default=None,
+        help="compiled compute mode to measure (repeatable; default: all three)",
+    )
+    infer_parser.add_argument(
         "--output-dir",
         type=Path,
         default=None,
@@ -639,7 +647,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.command == "infer-bench":
         from .compiled_forward import DEFAULT_BATCH_SIZES as INFER_BATCH_SIZES
-        from .compiled_forward import run_compiled_forward
+        from .compiled_forward import DEFAULT_PRECISIONS, run_compiled_forward
 
         scale = paper_scale() if args.scale == "paper" else ci_scale()
         result = run_compiled_forward(
@@ -648,6 +656,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             batch_sizes=args.batch_sizes or INFER_BATCH_SIZES,
             repeats=args.repeats,
             timing_rounds=args.timing_rounds,
+            precisions=args.precisions or DEFAULT_PRECISIONS,
         )
         text = result.to_text()
         print(text)
@@ -656,6 +665,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"{result.metadata['reference_speedup']:.2f}x, "
             f"max |logit diff| {result.metadata['max_abs_logit_diff']:.2e}"
         )
+        fp32_reference = result.metadata.get("fp32_reference_speedup")
+        if fp32_reference is not None:
+            print(f"fp32 kernel reference speedup (batch 1): {fp32_reference:.2f}x")
         if args.output_dir is not None:
             args.output_dir.mkdir(parents=True, exist_ok=True)
             (args.output_dir / f"{result.name}.txt").write_text(text + "\n")

@@ -6,12 +6,23 @@ layers.  This extension trains the same MP-CC architecture twice — once with
 a binary cloud section and once with a float (standard) cloud section — and
 compares the exit accuracies, reproducing the mixed-precision scheme the
 authors propose as future work.
+
+Since the compiled stack grew kernel-level compute modes (PR 9), each table
+row also cross-checks the *kernel-side* precisions on the same trained
+model: the ``float32`` compiled mode must route in agreement with the fp64
+oracle (its ≥99.9% tolerance guarantee) and the ``bitpacked`` mode must
+reproduce the fp64 logits bit for bit — so the paper-side mixed-precision
+scheme (which layers are binary) and the kernel-side compute modes (what
+dtype the GEMMs run in) are validated against each other in one place.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
+import numpy as np
+
+from ..compile import routing_agreement
 from .results import ExperimentResult
 from .runner import ExperimentScale, capture_oracle, default_scale, get_dataset, get_trained_ddnn
 
@@ -34,6 +45,9 @@ def run_mixed_precision(
             "local_accuracy_pct",
             "cloud_accuracy_pct",
             "overall_accuracy_pct",
+            "fp32_overall_accuracy_pct",
+            "fp32_routing_agreement",
+            "bitpacked_identical",
         ],
         metadata={"scale": scale.name, "threshold": threshold},
     )
@@ -43,10 +57,23 @@ def run_mixed_precision(
         oracle = capture_oracle(model, test_set)
         accuracies = oracle.exit_accuracies()
         staged = oracle.route(threshold)
+
+        # Kernel-side compute modes on the same trained model: fp32 carries
+        # a routing-agreement tolerance, bitpacked must be bit-identical.
+        fp32_oracle = capture_oracle(model, test_set, precision="float32")
+        packed_oracle = capture_oracle(model, test_set, precision="bitpacked")
+        fp32_staged = fp32_oracle.route(threshold)
+        agreement = routing_agreement(oracle.logits, fp32_oracle.logits)
+        packed_identical = np.array_equal(oracle.logits, packed_oracle.logits)
+
         result.add_row(
             cloud_precision=label,
             local_accuracy_pct=100.0 * accuracies["local"],
             cloud_accuracy_pct=100.0 * accuracies["cloud"],
             overall_accuracy_pct=100.0 * staged.overall_accuracy(test_set.labels),
+            fp32_overall_accuracy_pct=100.0
+            * fp32_staged.overall_accuracy(test_set.labels),
+            fp32_routing_agreement=float(agreement),
+            bitpacked_identical="yes" if packed_identical else "no",
         )
     return result

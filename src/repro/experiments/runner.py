@@ -236,7 +236,9 @@ def get_trained_ddnn(
     return _MODEL_CACHE[key]
 
 
-def capture_oracle(model: DDNN, dataset: MVMCDataset, batch_size: int = 64):
+def capture_oracle(
+    model: DDNN, dataset: MVMCDataset, batch_size: int = 64, precision: str = "float64"
+):
     """Forward-once :class:`~repro.core.oracle.ExitOracle` for an experiment.
 
     The offline harness defaults to the compiled fast path (one
@@ -267,6 +269,7 @@ def capture_oracle(model: DDNN, dataset: MVMCDataset, batch_size: int = 64):
         id(dataset),
         eager,
         batch_size,
+        precision,
         getattr(model, "_weights_version", 0),
     )
     # The whole lookup-capture-insert runs under one lock: the capture
@@ -283,7 +286,11 @@ def capture_oracle(model: DDNN, dataset: MVMCDataset, batch_size: int = 64):
             if entry is not None and entry[0] is model and entry[1] is dataset:
                 return entry[2]
         oracle = ExitOracle.capture(
-            model, dataset, batch_size=batch_size, compile=not eager
+            model,
+            dataset,
+            batch_size=batch_size,
+            compile=not eager,
+            precision=precision,
         )
         if cacheable:
             _ORACLE_CACHE[key] = (model, dataset, oracle)

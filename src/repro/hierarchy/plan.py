@@ -123,6 +123,12 @@ class PartitionPlan:
     autoscale: Union[
         None, AutoscalePolicy, Sequence[Optional[AutoscalePolicy]]
     ] = None
+    #: Compiled compute mode per tier — a single mode (broadcast) or one
+    #: entry per tier, e.g. ``("bitpacked", "float64")`` to run the device
+    #: tier on XNOR-popcount kernels while the cloud stays exact.  Only
+    #: consulted by compile-enabled consumers (the serving fabric and the
+    #: hierarchy runtime); the eager path always computes in float64.
+    precision: Union[str, Sequence[str]] = "float64"
 
     def __post_init__(self) -> None:
         self.validate()
@@ -173,6 +179,7 @@ class PartitionPlan:
             if count < 1:
                 raise ValueError(f"worker counts must be >= 1, got {count}")
         self.autoscale_policies()  # validates length
+        self.precisions()  # validates length and mode names
 
     def with_changes(self, **changes) -> "PartitionPlan":
         """A copy of this plan with the given fields replaced."""
@@ -208,6 +215,25 @@ class PartitionPlan:
     @property
     def autoscaled(self) -> bool:
         return any(policy is not None for policy in self.autoscale_policies())
+
+    def precisions(self) -> Tuple[str, ...]:
+        """Per-tier compiled compute modes, broadcasting a single mode."""
+        from ..compile.ops import PRECISIONS
+
+        if isinstance(self.precision, str):
+            modes = (self.precision,) * self.num_tiers
+        else:
+            modes = tuple(str(mode) for mode in self.precision)
+            if len(modes) != self.num_tiers:
+                raise ValueError(
+                    f"precision must have {self.num_tiers} entries, got {len(modes)}"
+                )
+        for mode in modes:
+            if mode not in PRECISIONS:
+                raise ValueError(
+                    f"unknown precision {mode!r}; expected one of {PRECISIONS}"
+                )
+        return modes
 
     # ------------------------------------------------------------------ #
     # Materialisation

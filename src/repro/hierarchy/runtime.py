@@ -90,7 +90,13 @@ class HierarchyRuntime:
         fault_plan: Optional[FaultPlan] = None,
         batch_size: int = 64,
         compile: bool = False,
+        precision: str = "float64",
     ) -> None:
+        if precision != "float64" and not compile:
+            raise ValueError(
+                f"precision='{precision}' requires compile=True: the eager "
+                "stack always computes in float64"
+            )
         self.deployment = deployment
         self.model = deployment.model
         self.fault_plan = fault_plan if fault_plan is not None else FaultPlan()
@@ -103,7 +109,7 @@ class HierarchyRuntime:
         if compile:
             from ..compile.cache import compiled_plan_for
 
-            self.compiled = compiled_plan_for(self.model)
+            self.compiled = compiled_plan_for(self.model, precision)
 
     @property
     def criteria(self) -> List[ExitCriterion]:

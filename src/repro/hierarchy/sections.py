@@ -222,14 +222,16 @@ class DeviceTierSection(TierSection):
                 # forwards through the same plan instance.
                 features = features.copy()
             return features, scores, seconds
-        features, scores = branch(np.asarray(view_batch, dtype=np.float64))
+        # No dtype force: the compiled branch casts to its own precision
+        # mode's dtype (float64 plans see the historical bit-exact input).
+        features, scores = branch(np.asarray(view_batch))
         batch = len(features)
         seconds = device._account(device.branch.num_parameters() * batch, samples=batch)
         return features.copy(), scores.copy(), seconds
 
     def _aggregate(self, aggregator, device_scores, plans):
         if plans is not None and plans.local_aggregator is not None:
-            arrays = [np.asarray(scores, dtype=np.float64) for scores in device_scores]
+            arrays = [np.asarray(scores) for scores in device_scores]
             fused = plans.local_aggregator(arrays)
             operations = sum(array.size for array in arrays)
             seconds = aggregator._account(operations, samples=len(arrays[0]))
@@ -323,7 +325,7 @@ class EdgeTierSection(TierSection):
         if plans is None:
             features, logits, seconds = edge.process(group)
             return features.copy(), logits, seconds
-        arrays = [np.asarray(array, dtype=np.float64) for array in group]
+        arrays = [np.asarray(array) for array in group]
         aggregated = plans.edge_aggregators[edge_index](arrays)
         features, logits = plans.edge_tiers[edge_index](aggregated)
         batch = len(arrays[0])
@@ -398,7 +400,7 @@ class CloudTierSection(TierSection):
         cloud = self.deployment.cloud
         if plans is None:
             return cloud.process(sources)
-        arrays = [np.asarray(array, dtype=np.float64) for array in sources]
+        arrays = [np.asarray(array) for array in sources]
         aggregated = plans.cloud_aggregator(arrays)
         _, logits = plans.cloud(aggregated)
         batch = len(arrays[0])

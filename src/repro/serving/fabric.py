@@ -352,6 +352,13 @@ class DistributedServingFabric:
     compile:
         Build one compiled plan bundle *per worker* (fused inference plans
         with private buffer arenas; same decisions as eager).
+    precision:
+        Compute mode(s) for the compiled bundles — a single mode
+        (broadcast) or one per tier, so a bandwidth-starved device tier
+        can run ``"bitpacked"`` or ``"float32"`` while the cloud stays
+        exact ``"float64"``.  Requires ``compile=True`` for non-default
+        modes.  Workers on tiers sharing a mode draw bundles from one
+        per-mode pool.
     sections:
         Pre-built tier sections (the hierarchy runtime passes sections that
         carry its fault plan); defaults to :func:`build_tier_sections`.
@@ -408,6 +415,7 @@ class DistributedServingFabric:
         workers_per_tier: Union[int, Sequence[int]] = 1,
         batching: Union[None, BatchingPolicy, Sequence[Optional[BatchingPolicy]]] = None,
         compile: bool = False,
+        precision: Union[str, Sequence[str]] = "float64",
         clock: Union[None, SimulatedClock, WallClock] = None,
         sections: Optional[Sequence[TierSection]] = None,
         service_models: Optional[Sequence[Optional[ServiceModel]]] = None,
@@ -467,22 +475,49 @@ class DistributedServingFabric:
         if len(services) != num_tiers:
             raise ValueError(f"service_models must have {num_tiers} entries")
 
-        # One compiled bundle per worker *slot*, shared across tiers: tier t's
-        # worker w uses only bundle w's tier-t plans, so concurrently-busy
-        # workers always touch disjoint plan objects (arena safety) without
-        # compiling the whole model once per (tier, worker) pair.
-        bundles: List[object] = []
+        from ..compile.ops import PRECISIONS
+
+        precisions = [
+            mode if mode is not None else "float64"
+            for mode in self._per_tier(precision, num_tiers, "precision")
+        ]
+        for mode in precisions:
+            if mode not in PRECISIONS:
+                raise ValueError(
+                    f"unknown precision {mode!r}; expected one of {PRECISIONS}"
+                )
+        if any(mode != "float64" for mode in precisions) and not compile:
+            raise ValueError(
+                "per-tier precision other than 'float64' requires compile=True: "
+                "the eager stack always computes in float64"
+            )
+        self.precisions = precisions
+
+        # One compiled bundle per worker *slot*, shared across same-precision
+        # tiers: tier t's worker w uses only bundle w's tier-t plans, so
+        # concurrently-busy workers always touch disjoint plan objects (arena
+        # safety) without compiling the whole model once per (tier, worker)
+        # pair.  Tiers at different precision modes draw from separate pools,
+        # each sized by the largest worker count among its tiers.
+        bundles: Dict[str, List[object]] = {}
         if self.compile_enabled:
             from ..compile import compile_ddnn
 
-            slots = max(int(count) if count is not None else 1 for count in workers)
-            bundles = [compile_ddnn(self.model) for _ in range(slots)]
+            for mode in dict.fromkeys(precisions):
+                slots = max(
+                    int(count) if count is not None else 1
+                    for count, tier_mode in zip(workers, precisions)
+                    if tier_mode == mode
+                )
+                bundles[mode] = [
+                    compile_ddnn(self.model, precision=mode) for _ in range(slots)
+                ]
         self._bundles = bundles
 
         self.tiers: List[TierServer] = []
         for index, section in enumerate(self.sections):
             count = int(workers[index]) if workers[index] is not None else 1
-            plans = bundles[:count] if self.compile_enabled else None
+            plans = bundles[precisions[index]][:count] if self.compile_enabled else None
             pool = make_worker_pool(
                 backend,
                 self.events,
@@ -630,7 +665,7 @@ class DistributedServingFabric:
 
     @staticmethod
     def _per_tier(value, num_tiers: int, label: str) -> List:
-        if value is None or isinstance(value, (int, BatchingPolicy)):
+        if value is None or isinstance(value, (int, str, BatchingPolicy)):
             return [value] * num_tiers
         values = list(value)
         if len(values) != num_tiers:
@@ -658,10 +693,10 @@ class DistributedServingFabric:
             deployment = plan.materialize()
         elif deployment.model is not plan.model:
             raise ValueError("deployment.model must be the plan's model")
-        if "sections" in kwargs or "workers_per_tier" in kwargs:
+        if "sections" in kwargs or "workers_per_tier" in kwargs or "precision" in kwargs:
             raise ValueError(
-                "from_plan derives sections and workers_per_tier from the "
-                "plan; construct the fabric directly to override them"
+                "from_plan derives sections, workers_per_tier and precision "
+                "from the plan; construct the fabric directly to override them"
             )
         sections = build_tier_sections(deployment, plan=plan)
         fabric = cls(
@@ -669,6 +704,7 @@ class DistributedServingFabric:
             thresholds,
             workers_per_tier=list(plan.worker_counts()),
             sections=sections,
+            precision=list(plan.precisions()),
             **kwargs,
         )
         fabric.plan = plan
@@ -1191,6 +1227,13 @@ class DistributedServingFabric:
                 f"runs {len(self.tiers)} — adding/removing the edge tier "
                 "needs a new fabric, not a live re-partition"
             )
+        if list(new_plan.precisions()) != list(self.precisions):
+            raise ValueError(
+                f"plan precisions {tuple(new_plan.precisions())} differ from "
+                f"the fabric's {tuple(self.precisions)} — worker bundles are "
+                "compiled at fabric construction; changing compute modes "
+                "needs a new fabric, not a live re-partition"
+            )
         new_plan.validate()
         if self._pending_plan is not None:
             raise RuntimeError("a re-partition is already in progress")
@@ -1267,14 +1310,19 @@ class DistributedServingFabric:
         tier = self.tiers[tier_index]
         current = len(tier.pool)
         if num_workers > current and self.compile_enabled:
+            mode = self.precisions[tier_index]
+            pool = self._bundles.setdefault(mode, [])
             added = num_workers - current
             in_use = {id(worker.plans) for worker in tier.pool.workers}
-            spare = [bundle for bundle in self._bundles if id(bundle) not in in_use]
+            spare = [bundle for bundle in pool if id(bundle) not in in_use]
             if len(spare) < added:
                 from ..compile import compile_ddnn
 
-                fresh = [compile_ddnn(self.model) for _ in range(added - len(spare))]
-                self._bundles.extend(fresh)
+                fresh = [
+                    compile_ddnn(self.model, precision=mode)
+                    for _ in range(added - len(spare))
+                ]
+                pool.extend(fresh)
                 spare.extend(fresh)
             actual = tier.pool.resize(num_workers, now, worker_plans=spare[:added])
         else:

@@ -96,6 +96,12 @@ class DDNNServer:
         (requires ``compile=True``: eager forwards toggle the process-wide
         ``no_grad`` switch and are not thread-safe).  Exit decisions are
         byte-identical either way; only completion order/timing differs.
+    precision:
+        Compute mode for the compiled path — ``"float64"`` (exact,
+        default), ``"float32"`` (tolerance mode) or ``"bitpacked"``.
+        Requires ``compile=True`` for the non-default modes: the eager
+        stack has no reduced-precision path, so a server that silently
+        ignored the knob would misreport what it serves.
     """
 
     def __init__(
@@ -112,6 +118,7 @@ class DDNNServer:
         compile: bool = False,
         workers: int = 1,
         backend: str = "simulated",
+        precision: str = "float64",
     ) -> None:
         if backend not in WORKER_POOL_BACKENDS:
             raise ValueError(
@@ -131,8 +138,16 @@ class DDNNServer:
                 "toggle the process-wide no_grad switch and are not "
                 "thread-safe; compiled plan bundles are"
             )
+        if precision != "float64" and not compile:
+            raise ValueError(
+                f"precision='{precision}' requires compile=True: the eager "
+                "stack always computes in float64"
+            )
         self.model = model
-        self.cascade = ExitCascade.for_model(model, thresholds, compile=compile)
+        self.cascade = ExitCascade.for_model(
+            model, thresholds, compile=compile, precision=precision
+        )
+        self.precision = precision
         self.workers = workers
         self.backend = backend
         self._executor: Optional[ThreadPoolExecutor] = None
@@ -142,7 +157,9 @@ class DDNNServer:
 
             # One private plan bundle per worker thread: disjoint buffer
             # arenas, so concurrent forwards never share mutable state.
-            self._worker_plans = [compile_ddnn(model) for _ in range(workers)]
+            self._worker_plans = [
+                compile_ddnn(model, precision=precision) for _ in range(workers)
+            ]
             self._executor = ThreadPoolExecutor(
                 max_workers=workers, thread_name_prefix="repro-server"
             )
