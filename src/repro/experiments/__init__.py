@@ -50,6 +50,7 @@ from .runner import (
 )
 from .scaling_devices import compute_individual_accuracies, run_scaling_devices
 from .serving_benchmark import DEFAULT_BATCH_SIZES, run_serving_throughput
+from .slo_serving import DEFAULT_MODES, run_slo_serving, run_wallclock_slo_smoke
 from .sweep_fastpath import DEFAULT_SWEEP_GRIDS, REFERENCE_GRID, run_sweep_fastpath
 from .threshold_sweep import PAPER_TABLE2_THRESHOLDS, run_threshold_sweep
 from .weight_ablation import run_weight_ablation
@@ -73,6 +74,7 @@ EXPERIMENT_REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
     "parallel_serving": run_parallel_serving,
     "elastic_serving": run_elastic_serving,
     "chaos_serving": run_chaos_serving,
+    "slo_serving": run_slo_serving,
     "threshold_sweep_fastpath": run_sweep_fastpath,
 }
 
@@ -122,6 +124,9 @@ __all__ = [
     "DEFAULT_PEAK_WORKERS",
     "run_chaos_serving",
     "DEFAULT_SCENARIOS",
+    "run_slo_serving",
+    "run_wallclock_slo_smoke",
+    "DEFAULT_MODES",
     "run_sweep_fastpath",
     "DEFAULT_SWEEP_GRIDS",
     "REFERENCE_GRID",

@@ -228,10 +228,9 @@ def run_chaos_serving(
             "accounting": _accounting(report.responses),
             "resilience": fabric.resilience_stats.as_dict(),
             "lost_messages": fabric.deployment.fabric.lost_messages,
-            "breakers": {
-                "->".join(key): value.state.value
-                for key, value in sorted(fabric.breakers.items())
-            },
+            # Uniform observability block (also on report.metadata): breaker
+            # end states plus how often each tripped/recovered.
+            "breakers": fabric.report_metadata()["breakers"],
         }
 
     result = ExperimentResult(
@@ -353,7 +352,14 @@ def run_chaos_serving(
                 f"lost={outcome['lost_messages']} "
                 f"timeouts={resilience['timeouts']} "
                 f"fast_fails={resilience['breaker_fast_fails']} "
-                f"breakers={outcome['breakers'] or '-'}"
+                "breakers="
+                + (
+                    ",".join(
+                        f"{link}:{info['state']}/{info['transitions']}"
+                        for link, info in sorted(outcome["breakers"].items())
+                    )
+                    or "-"
+                )
             ),
         )
 
@@ -373,5 +379,8 @@ def run_chaos_serving(
 
     result.metadata["resilience_stats"] = {
         scenario: outcome["resilience"] for scenario, outcome in outcomes.items()
+    }
+    result.metadata["breakers"] = {
+        scenario: outcome["breakers"] for scenario, outcome in outcomes.items()
     }
     return result

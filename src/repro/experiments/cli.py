@@ -13,6 +13,8 @@ Usage::
     python -m repro.experiments parallel-bench --workers 1 --workers 4
     python -m repro.experiments elastic-bench --peak-workers 3
     python -m repro.experiments chaos-bench --num-requests 160
+    python -m repro.experiments slo-bench --num-requests 160
+    python -m repro.experiments slo-bench --wallclock-smoke
     python -m repro.experiments sweep-bench --timing-rounds 3
 
 Each experiment prints its table (the same rows the paper reports) and can
@@ -389,6 +391,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory to write the table as chaos_serving.txt",
     )
 
+    slo_parser = subparsers.add_parser(
+        "slo-bench",
+        help="end-to-end SLO plane: deadlines + hedged offloads vs the chaos scenarios",
+    )
+    slo_parser.add_argument(
+        "--scale",
+        choices=("ci", "paper"),
+        default="ci",
+        help="experiment scale for the model and request stream",
+    )
+    slo_parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.8,
+        help="local-exit entropy threshold used by the cascade",
+    )
+    slo_parser.add_argument(
+        "--num-requests",
+        type=int,
+        default=160,
+        help="Poisson arrivals served under every (mode, scenario) cell",
+    )
+    slo_parser.add_argument(
+        "--max-batch-size",
+        type=int,
+        default=4,
+        help="micro-batch ceiling of every tier's batching policy",
+    )
+    slo_parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="seed for the arrival process, chaos draws and retry jitter",
+    )
+    slo_parser.add_argument(
+        "--wallclock-smoke",
+        action="store_true",
+        help="instead of the simulated table, run the thread-backend chaos + "
+        "deadline smoke against a real wall clock",
+    )
+    slo_parser.add_argument(
+        "--output-dir",
+        type=Path,
+        default=None,
+        help="directory to write the table as slo_serving.txt",
+    )
+
     infer_parser = subparsers.add_parser(
         "infer-bench",
         help="benchmark the compiled inference fast path against the eager forward",
@@ -638,6 +687,52 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "resilience accounting: "
             + "; ".join(
                 f"{scenario}: {values}" for scenario, values in stats.items()
+            )
+        )
+        print(
+            "breakers: "
+            + "; ".join(
+                f"{scenario}: {values or '-'}"
+                for scenario, values in result.metadata["breakers"].items()
+            )
+        )
+        if args.output_dir is not None:
+            args.output_dir.mkdir(parents=True, exist_ok=True)
+            (args.output_dir / f"{result.name}.txt").write_text(text + "\n")
+        return 0
+
+    if args.command == "slo-bench":
+        from .slo_serving import run_slo_serving, run_wallclock_slo_smoke
+
+        scale = paper_scale() if args.scale == "paper" else ci_scale()
+        if args.wallclock_smoke:
+            facts = run_wallclock_slo_smoke(
+                scale, threshold=args.threshold, seed=args.seed
+            )
+            print(
+                "wall-clock slo smoke (thread backend): "
+                + ", ".join(f"{key}={value}" for key, value in sorted(facts.items()))
+            )
+            return 0
+        result = run_slo_serving(
+            scale,
+            threshold=args.threshold,
+            num_requests=args.num_requests,
+            max_batch_size=args.max_batch_size,
+            seed=args.seed,
+        )
+        text = result.to_text()
+        print(text)
+        stats = result.metadata["resilience_stats"]
+        print(
+            "resilience accounting: "
+            + "; ".join(f"{cell}: {values}" for cell, values in stats.items())
+        )
+        print(
+            "breakers: "
+            + "; ".join(
+                f"{cell}: {values or '-'}"
+                for cell, values in result.metadata["breakers"].items()
             )
         )
         if args.output_dir is not None:

@@ -1,0 +1,616 @@
+"""Experiment S7 — end-to-end SLO budgets and hedged offloads under chaos.
+
+The chaos study (:mod:`~repro.experiments.chaos_serving`) shows the fabric
+*survives* faults; this one asks what surviving costs the tail, and what an
+explicit end-to-end budget buys back.  One identical Poisson trace is
+served under the chaos scenarios three times:
+
+* ``no-slo`` — PR-8 resilience only: offload deadlines, retry ladders,
+  circuit breaking, failover.  Requests carry no end-to-end budget, so a
+  request can spend the whole worst-case recovery ladder in the tail.
+* ``deadline`` — every request carries a
+  :class:`~repro.serving.resilience.Deadline` (``slo_s``): expired
+  requests are retired from tier queues *before* burning compute, retry
+  ladders are clipped to the remaining budget, and batches form
+  earliest-deadline-first.  The tail is capped near the budget.
+* ``deadline+hedge`` — additionally, an offload that has consumed a
+  :class:`~repro.serving.resilience.HedgePolicy` fraction of its budget
+  without delivering is speculatively re-sent to a sibling replica stack
+  via the :class:`~repro.serving.balancer.LoadBalancer`; first arrival
+  wins, the loser is cancelled, hedge bytes are honestly charged.
+
+The run *raises* (rather than records) when the SLO plane fails its
+contract: every (mode, scenario) must answer every request exactly once;
+no expired request may consume a remote compute slot
+(``expired_compute == 0``); the fault-free baselines must show zero
+expiries, zero retries and zero hedges; hedging must *strictly* improve
+the chaos p99 against deadline-only at equal answer count on the
+link-chaos scenarios; deadline propagation must strictly improve the
+worker-crash p99 against no-slo (queue retirement caps the blackout
+tail); and every cell must replay byte-identically — same seed, fresh
+fabrics → identical per-request accounting *including hedge decisions and
+deadline flags*.
+
+A separate wall-clock smoke (:func:`run_wallclock_slo_smoke`) runs the
+same machinery — chaos schedule, retry policy, deadlines — on the
+``thread`` backend against a real :class:`~repro.serving.clock.WallClock`
+with tolerance-based assertions, so the SLO plane is exercised outside
+the simulated-clock comfort zone.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..hierarchy.faults import ChaosSchedule, LinkFlap, LinkLoss, LinkOutage, WorkerCrash
+from ..hierarchy.plan import PartitionPlan
+from ..serving import (
+    BatchingPolicy,
+    CircuitBreaker,
+    DistributedServingFabric,
+    HedgePolicy,
+    LoadBalancer,
+    PoissonProcess,
+    RetryPolicy,
+    ServiceModel,
+)
+from .chaos_serving import _uplink_delay_estimate
+from .parallel_serving import available_cpu_count
+from .results import ExperimentResult
+from .runner import ExperimentScale, default_scale, get_dataset, get_trained_ddnn
+
+__all__ = [
+    "DEFAULT_MODES",
+    "DEFAULT_SCENARIOS",
+    "run_slo_serving",
+    "run_wallclock_slo_smoke",
+]
+
+DEFAULT_MODES = ("no-slo", "deadline", "deadline+hedge")
+DEFAULT_SCENARIOS = ("none", "flaky-uplink", "cloud-partition", "worker-crash")
+
+#: Hedge trigger as a fraction of the offload group's remaining budget.
+#: It must sit between one healthy delivery (<= deadline/2 of a budget of
+#: eight deadlines, so the fault-free baseline sends zero hedges) and the
+#: first attempt's timeout (so a hedge preempts the retry ladder instead
+#: of merely racing its failover).
+HEDGE_TRIGGER_FRACTION = 0.1
+
+
+def _accounting(responses) -> List[tuple]:
+    """Per-request accounting tuple determinism is asserted over — includes
+    the SLO plane's flags, so hedge routing and deadline retirement must
+    replay exactly, not just predictions."""
+    return sorted(
+        (
+            r.request_id,
+            r.prediction,
+            r.exit_index,
+            r.exit_name,
+            r.degraded,
+            r.retries,
+            r.hedged,
+            r.deadline_exceeded,
+            r.completion_time,
+            r.bytes_transferred,
+        )
+        for r in responses
+    )
+
+
+def run_slo_serving(
+    scale: Optional[ExperimentScale] = None,
+    threshold: float = 0.8,
+    num_requests: int = 160,
+    max_batch_size: int = 4,
+    seed: int = 0,
+    scenarios: Sequence[str] = DEFAULT_SCENARIOS,
+    modes: Sequence[str] = DEFAULT_MODES,
+) -> ExperimentResult:
+    """Serve one trace per (mode, scenario); assert the SLO plane's contract."""
+    scale = scale if scale is not None else default_scale()
+    if num_requests < 16:
+        raise ValueError(f"num_requests must be >= 16, got {num_requests}")
+    unknown = [s for s in scenarios if s not in DEFAULT_SCENARIOS]
+    if unknown:
+        raise ValueError(f"unknown scenarios {unknown} (choose from {DEFAULT_SCENARIOS})")
+    unknown = [m for m in modes if m not in DEFAULT_MODES]
+    if unknown:
+        raise ValueError(f"unknown modes {unknown} (choose from {DEFAULT_MODES})")
+    if "none" not in scenarios:
+        scenarios = ("none",) + tuple(scenarios)
+    modes = tuple(m for m in DEFAULT_MODES if m in modes)  # canonical order
+
+    model, _ = get_trained_ddnn(scale)
+    _, test_set = get_dataset(scale)
+    views = test_set.images
+    targets = [int(label) for label in test_set.labels]
+
+    # Same machine-independent constants as the chaos study, so the two
+    # tables are comparable cell for cell.
+    service = ServiceModel(batch_overhead_s=0.002, per_sample_s=0.004)
+    rate = 0.5 * service.capacity_rps(max_batch_size)
+    horizon = num_requests / rate
+    batching = BatchingPolicy(max_batch_size=max_batch_size, max_wait_s=0.004)
+
+    transfer = _uplink_delay_estimate(PartitionPlan(model).materialize())
+    deadline = max(2.0 * transfer, 0.04)
+    policy = RetryPolicy(
+        deadline_s=deadline,
+        max_retries=3,
+        backoff_base_s=deadline / 2.0,
+        backoff_multiplier=2.0,
+        backoff_max_s=4.0 * deadline,
+        jitter_s=deadline / 10.0,
+        seed=seed,
+    )
+    breaker = CircuitBreaker(failure_threshold=3, reset_timeout_s=2.5 * deadline)
+    # The end-to-end budget: generous against one healthy journey, tight
+    # against the retry ladder's worst case — so the budget only ever binds
+    # when chaos is actually eating the slack.
+    slo_s = 8.0 * deadline
+    hedge = HedgePolicy(trigger_fraction=HEDGE_TRIGGER_FRACTION, max_hedges=1)
+
+    flap_period = max(horizon / 5.0, 4.0 * deadline)
+    flap_down = min(1.25 * deadline, 0.45 * flap_period)
+    partition = (0.25 * horizon, 0.75 * horizon)
+    # Unlike the chaos study, the blackout must *outlast* the budget —
+    # a crash window shorter than slo_s is invisible to the deadline plane
+    # (queued work just waits it out and still answers in budget).
+    crash = (0.30 * horizon, 0.30 * horizon + max(0.25 * horizon, 1.5 * slo_s))
+
+    def _schedule(scenario: str, uplink_to: str, top_tier: str) -> Optional[ChaosSchedule]:
+        if scenario == "none":
+            return None
+        if scenario == "flaky-uplink":
+            return ChaosSchedule(
+                flaps=[
+                    LinkFlap(
+                        period_s=flap_period,
+                        down_s=flap_down,
+                        destination=uplink_to,
+                        start=0.1 * horizon,
+                        end=0.9 * horizon,
+                    )
+                ],
+                losses=[
+                    LinkLoss(
+                        probability=0.08,
+                        destination=uplink_to,
+                        start=0.1 * horizon,
+                        end=0.9 * horizon,
+                    )
+                ],
+                seed=seed,
+            )
+        if scenario == "cloud-partition":
+            return ChaosSchedule(
+                outages=[
+                    LinkOutage(destination=uplink_to, start=partition[0], end=partition[1])
+                ],
+                seed=seed,
+            )
+        return ChaosSchedule(
+            crashes=[WorkerCrash(tier=top_tier, start=crash[0], end=crash[1])],
+            seed=seed,
+        )
+
+    # Requests *submitted inside the fault window* are the population the
+    # SLO machinery acts on; gating on their tail (rather than the whole
+    # trace's) keeps the assertions meaningful at any trace length, where
+    # the global p99 quantile can land on an unaffected request.
+    windows = {
+        "none": (0.0, float("inf")),
+        "flaky-uplink": (0.1 * horizon, 0.9 * horizon),
+        "cloud-partition": partition,
+        "worker-crash": crash,
+    }
+
+    def _window_p99(report, scenario: str) -> float:
+        lo, hi = windows[scenario]
+        latencies = [
+            r.latency_s for r in report.responses if lo <= r.submit_time <= hi
+        ]
+        if not latencies:
+            raise RuntimeError(
+                f"no requests were submitted inside the '{scenario}' fault "
+                f"window [{lo:.3f}, {hi:.3f}]s — the chaos never touched the "
+                "trace, so the SLO plane went unexercised"
+            )
+        return float(np.percentile(np.asarray(latencies), 99))
+
+    def _run(mode: str, scenario: str) -> Dict:
+        use_deadline = mode != "no-slo"
+        use_hedge = mode == "deadline+hedge"
+        # Identical two-replica topology in every mode, so compute capacity
+        # is equal and the measured differences are the SLO plane alone.
+        # All traffic enters replica 0 (where chaos strikes); replica 1 only
+        # ever sees hedge copies.
+        plan = PartitionPlan(
+            model,
+            replicas=2,
+            slo_s=slo_s if use_deadline else None,
+            hedge=hedge if use_hedge else None,
+        )
+        balancer = LoadBalancer.from_plan(
+            plan,
+            threshold,
+            strategy="round-robin",
+            batching=batching,
+            service_models=[service] * plan.num_tiers,
+            offload=policy,
+            breaker=breaker,
+            edf=use_deadline,
+        )
+        origin = balancer.replicas[0]
+        schedule = _schedule(scenario, origin.tier_names[-1], origin.tier_names[-1])
+        if schedule is not None:
+            origin.attach_chaos(schedule)
+        arrivals = PoissonProcess(rate_rps=rate, seed=seed + 1)
+        for count, when in zip(range(num_requests), arrivals):
+            index = count % len(views)
+            origin.submit(views[index], target=targets[index], at=when)
+        balancer.run_until_idle(drain=True)
+        report = balancer.report(duration_s=origin.clock.now)
+        ids = [r.request_id for r in report.responses]
+        if report.served != num_requests or len(set(ids)) != num_requests:
+            raise RuntimeError(
+                f"slo cell ({mode}, {scenario}) dropped or duplicated requests: "
+                f"{num_requests} offered, {report.served} answered "
+                f"({len(set(ids))} unique) — every request must be answered "
+                "exactly once, expired or not"
+            )
+        resilience = report.metadata["resilience"]
+        if resilience["expired_compute"] != 0:
+            raise RuntimeError(
+                f"slo cell ({mode}, {scenario}) let {resilience['expired_compute']} "
+                "expired request(s) burn a remote compute slot — expired work "
+                "must be retired at batch formation, not computed"
+            )
+        # A hit answers strictly inside the budget with its intended (not
+        # deadline-retired) result; a request retired *at* its budget has
+        # latency == slo_s and must not count as both hit and expired.
+        hit = (
+            sum(
+                1
+                for r in report.responses
+                if not r.deadline_exceeded and r.latency_s < slo_s
+            )
+            / report.served
+        )
+        return {
+            "report": report,
+            "accounting": _accounting(report.responses),
+            "resilience": resilience,
+            "breakers": report.metadata["breakers"],
+            "hit_rate": hit,
+            "window_p99_s": _window_p99(report, scenario),
+            "lost_messages": origin.deployment.fabric.lost_messages,
+        }
+
+    result = ExperimentResult(
+        name="slo_serving",
+        paper_reference=(
+            "End-to-end SLO plane over the fault-tolerant fabric (Section "
+            "IV-G online): deadline propagation across tiers + hedged "
+            "offloads to sibling replicas"
+        ),
+        columns=[
+            "mode",
+            "scenario",
+            "served",
+            "p50_ms",
+            "p99_ms",
+            "chaos_p99_ms",
+            "hit_pct",
+            "expired_pct",
+            "degraded_pct",
+            "retries",
+            "hedges",
+            "hedge_wins",
+            "hedge_kb",
+        ],
+        metadata={
+            "scale": scale.name,
+            "threshold": threshold,
+            "num_requests": num_requests,
+            "offered_rate_rps": rate,
+            "horizon_s": horizon,
+            "slo_s": slo_s,
+            "deadline_s": deadline,
+            "hedge_trigger_fraction": hedge.trigger_fraction,
+            "max_hedges": hedge.max_hedges,
+            "worst_case_recovery_s": policy.worst_case_delay_s(),
+            "uplink_transfer_estimate_s": transfer,
+            "flap": {"period_s": flap_period, "down_s": flap_down},
+            "partition_window_s": list(partition),
+            "crash_window_s": list(crash),
+            "seed": seed,
+            "cpu_count": available_cpu_count(),
+            "backend": "simulated",
+            "note": (
+                "hit_pct = answers within the end-to-end budget slo_s; every "
+                "cell asserted exactly-once, zero expired-compute, and "
+                "byte-reproducible under its seed (hedge decisions and "
+                "deadline flags included); hedging must strictly beat "
+                "deadline-only chaos_p99 (tail over requests submitted in "
+                "the fault window) on link-chaos scenarios, and deadline "
+                "propagation must strictly beat no-slo chaos_p99 and hit "
+                "rate on worker-crash"
+            ),
+        },
+    )
+
+    outcomes: Dict[tuple, Dict] = {}
+    for mode in modes:
+        for scenario in scenarios:
+            first = _run(mode, scenario)
+            second = _run(mode, scenario)
+            if first["accounting"] != second["accounting"]:
+                diverged = sum(
+                    1
+                    for a, b in zip(first["accounting"], second["accounting"])
+                    if a != b
+                )
+                raise RuntimeError(
+                    f"slo cell ({mode}, {scenario}) is not deterministic under "
+                    f"seed {seed}: {diverged}/{num_requests} per-request "
+                    "accounting tuples (incl. hedge/deadline flags) differ "
+                    "between two fresh simulated runs"
+                )
+            outcomes[(mode, scenario)] = first
+            report = first["report"]
+            resilience = first["resilience"]
+            result.add_row(
+                mode=mode,
+                scenario=scenario,
+                served=report.served,
+                p50_ms=1e3 * report.p50_latency_s,
+                p99_ms=1e3 * report.p99_latency_s,
+                chaos_p99_ms=1e3 * first["window_p99_s"],
+                hit_pct=100.0 * first["hit_rate"],
+                expired_pct=100.0 * report.deadline_exceeded_fraction,
+                degraded_pct=100.0 * report.degraded_fraction,
+                retries=report.retry_total,
+                hedges=report.hedge_total,
+                hedge_wins=resilience["hedge_wins"],
+                hedge_kb=report.hedge_bytes / 1e3,
+            )
+
+    # -- fault-free baselines never touch the SLO recovery machinery ------ #
+    for mode in modes:
+        baseline = outcomes[(mode, "none")]
+        report = baseline["report"]
+        resilience = baseline["resilience"]
+        if report.retry_total or report.degraded_fraction:
+            raise RuntimeError(
+                f"fault-free baseline of mode '{mode}' retried or degraded "
+                f"(retries={report.retry_total}, "
+                f"degraded={report.degraded_fraction:.3f})"
+            )
+        if mode != "no-slo" and resilience["deadline_expired"]:
+            raise RuntimeError(
+                f"fault-free baseline of mode '{mode}' expired "
+                f"{resilience['deadline_expired']} request(s) — the budget "
+                f"({slo_s:.4f}s) is too tight for healthy journeys"
+            )
+        if report.hedge_total:
+            raise RuntimeError(
+                f"fault-free baseline of mode '{mode}' sent "
+                f"{report.hedge_total} hedge(s) — the trigger fraction "
+                f"({hedge.trigger_fraction}) fires before one healthy delivery"
+            )
+    if outcomes[(modes[0], "none")]["report"].offload_fraction <= 0.0:
+        raise RuntimeError(
+            f"threshold {threshold} offloads nothing at the baseline — the "
+            "SLO plane would be unexercised; lower the threshold"
+        )
+
+    # -- hedging must strictly improve the link-chaos tail ---------------- #
+    # Gated on the in-window tail (chaos_p99_ms): hedging's claim is about
+    # the requests the fault actually touched, and the whole-trace p99
+    # quantile can land on an unaffected request at some trace lengths.
+    if "deadline" in modes and "deadline+hedge" in modes:
+        for scenario in ("flaky-uplink", "cloud-partition"):
+            if scenario not in scenarios:
+                continue
+            plain = outcomes[("deadline", scenario)]
+            hedged = outcomes[("deadline+hedge", scenario)]
+            if hedged["report"].served != plain["report"].served:
+                raise RuntimeError(
+                    f"hedging changed the answer count on '{scenario}' "
+                    f"({hedged['report'].served} vs {plain['report'].served}) "
+                    "— p99 comparison is meaningless"
+                )
+            if not hedged["window_p99_s"] < plain["window_p99_s"]:
+                raise RuntimeError(
+                    f"hedging did not strictly improve '{scenario}' in-window "
+                    f"p99: {1e3 * hedged['window_p99_s']:.2f}ms (hedged) vs "
+                    f"{1e3 * plain['window_p99_s']:.2f}ms (deadline-only) at "
+                    f"{hedged['report'].served} answers each"
+                )
+            if hedged["report"].hedge_total == 0:
+                raise RuntimeError(
+                    f"'{scenario}' sent zero hedges — the trigger never fired, "
+                    "so the improvement (if any) is not hedging"
+                )
+
+    # -- deadline propagation must cap the worker-crash blackout tail ----- #
+    if "no-slo" in modes and "deadline" in modes and "worker-crash" in scenarios:
+        unbounded = outcomes[("no-slo", "worker-crash")]
+        bounded = outcomes[("deadline", "worker-crash")]
+        if not bounded["hit_rate"] > unbounded["hit_rate"]:
+            raise RuntimeError(
+                "deadline propagation did not strictly improve the "
+                f"worker-crash hit rate: {100 * bounded['hit_rate']:.1f}% "
+                f"(deadline) vs {100 * unbounded['hit_rate']:.1f}% (no-slo) — "
+                "retiring expired work should protect the not-yet-expired "
+                "backlog"
+            )
+        if not bounded["window_p99_s"] < unbounded["window_p99_s"]:
+            raise RuntimeError(
+                "deadline propagation did not strictly improve the "
+                f"worker-crash in-window p99: "
+                f"{1e3 * bounded['window_p99_s']:.2f}ms (deadline) vs "
+                f"{1e3 * unbounded['window_p99_s']:.2f}ms (no-slo) — queue "
+                "retirement should cap the blackout tail"
+            )
+        if outcomes[("deadline", "worker-crash")]["resilience"]["deadline_expired"] == 0:
+            raise RuntimeError(
+                "the worker-crash window expired nothing under deadlines — "
+                "the blackout never intersected a queued budget, so the "
+                "retirement path went unexercised"
+            )
+
+    result.metadata["resilience_stats"] = {
+        f"{mode}/{scenario}": outcome["resilience"]
+        for (mode, scenario), outcome in outcomes.items()
+    }
+    result.metadata["breakers"] = {
+        f"{mode}/{scenario}": outcome["breakers"]
+        for (mode, scenario), outcome in outcomes.items()
+    }
+    result.metadata["hit_rates"] = {
+        f"{mode}/{scenario}": outcome["hit_rate"]
+        for (mode, scenario), outcome in outcomes.items()
+    }
+    return result
+
+
+def run_wallclock_slo_smoke(
+    scale: Optional[ExperimentScale] = None,
+    threshold: float = 0.8,
+    num_requests: int = 24,
+    seed: int = 0,
+) -> Dict:
+    """Chaos + deadlines on the ``thread`` backend under a real WallClock.
+
+    The simulated table above proves the semantics; this smoke proves the
+    same machinery holds up when time is real: worker-crash windows open
+    and close at wall-clock boundaries, offload retry timers genuinely
+    wait, and expiry timers retire queued requests mid-run.  Assertions
+    are tolerance-based (real scheduling jitters); the exactly-once and
+    honest-flag invariants are exact on any machine.  Returns a dict of
+    the measured facts for the caller to print or assert on further.
+    """
+    scale = scale if scale is not None else default_scale()
+    model, _ = get_trained_ddnn(scale)
+    _, test_set = get_dataset(scale)
+    views = test_set.images
+    targets = [int(label) for label in test_set.labels]
+
+    plan = PartitionPlan(model)
+    transfer = _uplink_delay_estimate(plan.materialize())
+    deadline = max(2.0 * transfer, 0.04)
+    policy = RetryPolicy(
+        deadline_s=deadline,
+        max_retries=2,
+        backoff_base_s=deadline / 2.0,
+        backoff_multiplier=2.0,
+        backoff_max_s=2.0 * deadline,
+        jitter_s=deadline / 10.0,
+        seed=seed,
+    )
+    # The budget must be generous against one healthy journey (~tens of ms
+    # on the tiny model) yet clearly shorter than the blackout, so queued
+    # requests genuinely expire on the wall clock and are retired mid-crash.
+    slo_s = 0.25
+    crash = (0.15, 0.70)  # real seconds: the cloud tier goes dark mid-run
+    fabric = DistributedServingFabric.from_plan(
+        plan,
+        threshold,
+        batching=BatchingPolicy(max_batch_size=4, max_wait_s=0.004),
+        backend="thread",
+        compile=True,
+        offload=policy,
+        slo_s=slo_s,
+        edf=True,
+    )
+    try:
+        fabric.attach_chaos(
+            ChaosSchedule(
+                crashes=[
+                    WorkerCrash(tier=fabric.tier_names[-1], start=crash[0], end=crash[1])
+                ],
+                losses=[
+                    LinkLoss(
+                        probability=0.3,
+                        destination=fabric.tier_names[-1],
+                        start=0.0,
+                        end=crash[0],
+                    )
+                ],
+                seed=seed,
+            )
+        )
+        started = fabric.clock.now
+        gap = 0.01
+        for count in range(num_requests):
+            index = count % len(views)
+            fabric.submit(
+                views[index], target=targets[index], at=started + count * gap
+            )
+        responses = fabric.run_until_idle(drain=True)
+        elapsed = fabric.clock.now - started
+    finally:
+        fabric.close()
+
+    ids = [r.request_id for r in responses]
+    if len(responses) != num_requests or len(set(ids)) != num_requests:
+        raise RuntimeError(
+            f"wall-clock smoke dropped or duplicated requests: {num_requests} "
+            f"offered, {len(responses)} answered ({len(set(ids))} unique)"
+        )
+    stats = fabric.resilience_stats
+    if stats.expired_compute != 0:
+        raise RuntimeError(
+            f"wall-clock smoke let {stats.expired_compute} expired request(s) "
+            "burn a compute slot"
+        )
+    # Honest flags, exact on any machine: deadline_exceeded is equivalent to
+    # finishing at/after submit + slo (both sides measured on the same clock).
+    epsilon = 1e-9
+    for r in responses:
+        late = r.latency_s >= slo_s - epsilon
+        if r.deadline_exceeded != late and abs(r.latency_s - slo_s) > 1e-6:
+            raise RuntimeError(
+                f"wall-clock smoke flag mismatch on request {r.request_id}: "
+                f"latency {r.latency_s:.4f}s vs budget {slo_s}s but "
+                f"deadline_exceeded={r.deadline_exceeded}"
+            )
+    # Tolerance bounds: the run must outlast the crash window (the restart
+    # boundary fires on the wall clock) and the budget machinery must keep
+    # the tail within budget + blackout + generous real-scheduling slack.
+    if elapsed < crash[1] - 0.05:  # sleep-until can undershoot by a sliver
+        raise RuntimeError(
+            f"wall-clock smoke finished at {elapsed:.3f}s, before the crash "
+            f"window closed at {crash[1]}s — chaos boundaries were not applied "
+            "on the wall clock"
+        )
+    if stats.deadline_expired == 0:
+        raise RuntimeError(
+            "wall-clock smoke expired nothing: every request submitted into "
+            f"the {crash[1] - crash[0]:.2f}s blackout carries a {slo_s}s "
+            "budget, so queued work must be retired by wall-clock expiry "
+            "timers mid-crash"
+        )
+    worst = max(r.latency_s for r in responses)
+    tail_bound = slo_s + (crash[1] - crash[0]) + 2.0
+    if worst > tail_bound:
+        raise RuntimeError(
+            f"wall-clock smoke worst latency {worst:.3f}s exceeds the "
+            f"tolerance bound {tail_bound:.3f}s"
+        )
+    return {
+        "served": len(responses),
+        "elapsed_s": elapsed,
+        "worst_latency_s": worst,
+        "deadline_expired": stats.deadline_expired,
+        "retries": stats.retries,
+        "failovers": stats.failovers,
+        "degraded": sum(1 for r in responses if r.degraded),
+        "deadline_exceeded": sum(1 for r in responses if r.deadline_exceeded),
+        "cpu_count": available_cpu_count(),
+    }

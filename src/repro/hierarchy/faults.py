@@ -292,6 +292,25 @@ class ChaosSchedule:
     def is_empty(self) -> bool:
         return not (self.outages or self.flaps or self.losses or self.crashes)
 
+    def horizon_s(self) -> float:
+        """Latest finite event boundary in the timetable (0.0 when empty).
+
+        Wall-clock chaos runs size their workload and tolerance windows off
+        this: after the horizon the schedule is in its final (typically
+        fault-free) regime, so a run that extends past it is guaranteed a
+        recovery phase.  Unbounded windows (``end=inf``) contribute their
+        *start* only — the fault never clears, so there is nothing to wait
+        for beyond its onset.
+        """
+        horizon = 0.0
+        for event in (*self.outages, *self.flaps, *self.losses):
+            horizon = max(horizon, event.start)
+            if math.isfinite(event.end):
+                horizon = max(horizon, event.end)
+        for crash in self.crashes:
+            horizon = max(horizon, crash.end)  # crash windows are always finite
+        return horizon
+
     @property
     def has_link_chaos(self) -> bool:
         """True when any event can darken a link or lose a message."""

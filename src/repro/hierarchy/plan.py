@@ -129,6 +129,17 @@ class PartitionPlan:
     #: consulted by compile-enabled consumers (the serving fabric and the
     #: hierarchy runtime); the eager path always computes in float64.
     precision: Union[str, Sequence[str]] = "float64"
+    #: End-to-end latency objective per request, in seconds.  Fabrics built
+    #: from the plan stamp every request with an absolute
+    #: :class:`~repro.serving.resilience.Deadline` at ingress; ``None``
+    #: serves without deadlines (the historical behaviour).
+    slo_s: Optional[float] = None
+    #: Optional :class:`~repro.serving.resilience.HedgePolicy` for
+    #: speculative offload re-sends across replica stacks.  Requires
+    #: ``replicas > 1`` (hedges go to *sibling* replicas) and only takes
+    #: effect through :meth:`~repro.serving.balancer.LoadBalancer.from_plan`,
+    #: which wires the replicas onto one shared event loop.
+    hedge: Optional[object] = None
 
     def __post_init__(self) -> None:
         self.validate()
@@ -175,6 +186,19 @@ class PartitionPlan:
             raise ValueError("plan enables the edge exit but the model has no edge tier")
         if self.replicas < 1:
             raise ValueError(f"replicas must be >= 1, got {self.replicas}")
+        if self.slo_s is not None and not self.slo_s > 0.0:
+            raise ValueError(f"slo_s must be > 0 or None, got {self.slo_s}")
+        if self.hedge is not None:
+            from ..serving.resilience import HedgePolicy  # deferred: avoids cycle
+
+            if not isinstance(self.hedge, HedgePolicy):
+                raise TypeError(
+                    f"hedge must be a HedgePolicy or None, got {type(self.hedge).__name__}"
+                )
+            if self.replicas < 2:
+                raise ValueError(
+                    "hedge needs replicas >= 2 (hedged offloads go to sibling replicas)"
+                )
         for count in self.worker_counts():
             if count < 1:
                 raise ValueError(f"worker counts must be >= 1, got {count}")

@@ -110,6 +110,18 @@ class TierSection:
     def offload(self, carry, rows: np.ndarray) -> TransferResult:
         raise NotImplementedError
 
+    def transfer_estimate_s(self) -> float:
+        """Worst-case single-row offload transfer time under current topology.
+
+        Unlike :meth:`offload`, this charges nothing — no bytes hit the
+        wire.  The fabric's SLO plane uses it to decide *before* sending
+        whether an offload can possibly land inside a request's remaining
+        deadline budget (and to clip retry ladders); being a worst case it
+        may answer locally a row that would have squeaked through, never
+        the reverse.
+        """
+        raise NotImplementedError
+
 
 class DeviceTierSection(TierSection):
     """End devices plus (optionally) the local aggregator and local exit.
@@ -270,6 +282,16 @@ class DeviceTierSection(TierSection):
         ]
         return TransferResult(payloads=payloads, delay_s=delay, bytes=transferred)
 
+    def transfer_estimate_s(self) -> float:
+        worst = 0.0
+        fabric = self.deployment.fabric
+        for device_index, device in enumerate(self.deployment.devices):
+            if device.failed:
+                continue
+            link = fabric.link(device.name, self._uplink_destination[device_index])
+            worst = max(worst, link.transfer_time(device.feature_bytes()))
+        return worst
+
 
 class EdgeTierSection(TierSection):
     """The edge (fog) tier: per-edge aggregation + NN sections + edge exit."""
@@ -371,6 +393,16 @@ class EdgeTierSection(TierSection):
         payloads = [tuple(features[row] for features in edge_features) for row in rows]
         return TransferResult(payloads=payloads, delay_s=delay, bytes=transferred)
 
+    def transfer_estimate_s(self) -> float:
+        worst = 0.0
+        fabric = self.deployment.fabric
+        for edge in self.deployment.edges:
+            if edge.failed:
+                continue
+            link = fabric.link(edge.name, CLOUD_NAME)
+            worst = max(worst, link.transfer_time(edge.feature_bytes()))
+        return worst
+
 
 class CloudTierSection(TierSection):
     """The cloud tier: final aggregation + cloud NN section (always exits)."""
@@ -408,6 +440,9 @@ class CloudTierSection(TierSection):
         return logits.copy(), seconds
 
     def offload(self, carry, rows: np.ndarray) -> TransferResult:
+        raise RuntimeError("the cloud tier is final; nothing offloads past it")
+
+    def transfer_estimate_s(self) -> float:
         raise RuntimeError("the cloud tier is final; nothing offloads past it")
 
 

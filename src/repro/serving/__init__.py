@@ -47,6 +47,12 @@ the hard tail.  This package provides the online counterpart of the offline
   already cleared (honest ``degraded``/``retries`` metadata), with a
   per-link :class:`CircuitBreaker` fast-failing known-dark links and tier
   health feeding the :class:`LoadBalancer`.
+* The end-to-end SLO plane: a :class:`Deadline` budget travels with every
+  request across tiers — expired requests are retired from queues before
+  burning compute, retry ladders are clipped to the remaining budget, and
+  a :class:`HedgePolicy` speculatively re-sends slow offloads to sibling
+  replica stacks (first arrival wins, losers cancelled, hedge bytes
+  honestly accounted).
 
 All timing flows through an injectable clock, so scheduling behaviour is
 deterministic under test while real deployments use wall time.
@@ -90,7 +96,14 @@ from .loadgen import (
     TraceReplay,
 )
 from .queue import ClientSession, InferenceRequest, InferenceResponse, RequestQueue
-from .resilience import BreakerState, CircuitBreaker, ResilienceStats, RetryPolicy
+from .resilience import (
+    BreakerState,
+    CircuitBreaker,
+    Deadline,
+    HedgePolicy,
+    ResilienceStats,
+    RetryPolicy,
+)
 from .server import DDNNServer
 from .stats import ServerStats, StatsSnapshot
 from .workers import (
@@ -131,6 +144,8 @@ __all__ = [
     "RetryPolicy",
     "BreakerState",
     "CircuitBreaker",
+    "Deadline",
+    "HedgePolicy",
     "ResilienceStats",
     "WorkerPool",
     "WorkerHandle",

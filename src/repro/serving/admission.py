@@ -123,6 +123,17 @@ class AdmissionStats:
             "shed": self.shed,
         }
 
+    @classmethod
+    def merged(cls, stats) -> "AdmissionStats":
+        """Sum counters across queues/replicas (the balancer's fleet view)."""
+        total = cls()
+        for item in stats:
+            total.accepted += item.accepted
+            total.rejected += item.rejected
+            total.dropped += item.dropped
+            total.shed += item.shed
+        return total
+
 
 class AdmissionPolicy:
     """Decides what the queue does with an arriving request.

@@ -24,6 +24,17 @@ routing work into a black hole (or crashing with an index error).
 Replicas are independent discrete-event simulations; the balancer only
 decides *where* work enters.  ``run_until_idle`` drains every replica and
 merges their responses.
+
+**Hedged offloads** change one thing: replicas stop being independent
+timelines.  When a plan (or caller) carries a
+:class:`~repro.serving.resilience.HedgePolicy`, :meth:`LoadBalancer.from_plan`
+builds every replica over ONE shared :class:`~repro.serving.clock.EventLoop`
+and :meth:`enable_hedging` unifies their request-id source and wires each
+fabric's ``hedge_router`` back to :meth:`_hedge_sibling` — so a slow offload
+on one stack can race a speculative copy on a sibling stack, first arrival
+wins, and the merged response stream stays globally unique.  A hedge win
+lands its response on the *sibling's* ledger; use :meth:`report` for the
+fleet-honest view.
 """
 
 from __future__ import annotations
@@ -34,7 +45,10 @@ import numpy as np
 
 from ..core.cascade import Thresholds
 from ..hierarchy.plan import PartitionPlan
-from .fabric import DistributedServingFabric, FabricResponse
+from .admission import AdmissionStats
+from .clock import EventLoop, SimulatedClock, WallClock
+from .fabric import DistributedServingFabric, FabricReport, FabricResponse
+from .resilience import HedgePolicy, ResilienceStats
 
 __all__ = ["LoadBalancer", "BALANCER_STRATEGIES"]
 
@@ -76,12 +90,38 @@ class LoadBalancer:
         Each replica materialises its own deployment from the plan (shared
         model, private nodes/links/queues); keyword arguments are forwarded
         to every :meth:`DistributedServingFabric.from_plan` call.
+
+        When the plan (or a ``hedge=`` kwarg) carries a
+        :class:`~repro.serving.resilience.HedgePolicy` and there are
+        sibling replicas, the fabrics are built over one shared event loop
+        (unless a shared ``events=`` was passed explicitly) and hedging is
+        wired via :meth:`enable_hedging`.
         """
+        hedge = kwargs.pop("hedge", plan.hedge)
+        events = kwargs.pop("events", None)
+        if hedge is not None and plan.replicas > 1 and events is None:
+            # Hedge copies race their originals on one timeline, so sibling
+            # replicas must share a loop (and therefore a clock).
+            clock = kwargs.pop("clock", None)
+            if clock is None:
+                clock = (
+                    WallClock()
+                    if kwargs.get("backend") == "thread"
+                    else SimulatedClock()
+                )
+            events = EventLoop(clock)
+        if events is not None:
+            kwargs["events"] = events
+        if hedge is not None:
+            kwargs["hedge"] = hedge
         fabrics = [
             DistributedServingFabric.from_plan(plan, thresholds, **kwargs)
             for _ in range(plan.replicas)
         ]
-        return cls(fabrics, strategy=strategy)
+        balancer = cls(fabrics, strategy=strategy)
+        if hedge is not None and plan.replicas > 1:
+            balancer.enable_hedging()
+        return balancer
 
     # ------------------------------------------------------------------ #
     def _depth(self, fabric: DistributedServingFabric) -> int:
@@ -96,6 +136,86 @@ class LoadBalancer:
             - stats.rejected
             - stats.dropped
         )
+
+    @staticmethod
+    def _online_workers(fabric: DistributedServingFabric) -> int:
+        """Total online (non-crashed) worker slots across the stack's tiers.
+
+        A replica can be technically "up" (every tier has >= 1 online
+        worker) while a chaos window has thinned one of its tiers; routing
+        ties should prefer the stack with more surviving capacity.
+        """
+        return sum(tier.pool.online for tier in fabric.tiers)
+
+    # -- hedged offloads ------------------------------------------------- #
+    def enable_hedging(self, policy: Optional[HedgePolicy] = None) -> "LoadBalancer":
+        """Wire hedged offloads across the replica set.
+
+        Every replica must share one event loop (a hedge copy and its
+        original race on a single timeline — :meth:`from_plan` arranges
+        this) and carry an offload :class:`~repro.serving.resilience.RetryPolicy`.
+        The request-id source is unified across replicas so the merged
+        response stream stays globally unique (wire hedging *before*
+        submitting work), and each fabric's ``hedge_router`` is pointed at
+        :meth:`_hedge_sibling`.  ``policy`` overrides/installs the
+        :class:`~repro.serving.resilience.HedgePolicy` on every replica;
+        without it every replica must already carry one.
+        """
+        if len(self.replicas) < 2:
+            raise ValueError(
+                "hedging needs replicas >= 2: hedge copies go to sibling stacks"
+            )
+        loop = self.replicas[0].events
+        if any(fabric.events is not loop for fabric in self.replicas):
+            raise ValueError(
+                "hedging requires every replica to share one EventLoop — "
+                "build the fabrics with a common events=... "
+                "(LoadBalancer.from_plan does this automatically)"
+            )
+        shared_ids = self.replicas[0]._ids
+        for index, fabric in enumerate(self.replicas):
+            if fabric.offload_policy is None:
+                raise ValueError(
+                    f"replica {index} has no offload RetryPolicy; hedge "
+                    "copies ride the resilient offload path"
+                )
+            if policy is not None:
+                fabric.hedge_policy = policy
+            elif fabric.hedge_policy is None:
+                raise ValueError(
+                    f"replica {index} has no HedgePolicy — pass policy=... "
+                    "or construct the fabrics with hedge=..."
+                )
+            fabric._ids = shared_ids
+            fabric.hedge_router = self._hedge_sibling
+        return self
+
+    def _hedge_sibling(
+        self, origin: DistributedServingFabric, origin_tier: int
+    ) -> Optional[DistributedServingFabric]:
+        """Pick the sibling replica a hedge copy is sent to, or ``None``.
+
+        Healthy stacks only (never the origin), least outstanding load
+        first, more online workers breaking depth ties, then lowest index —
+        fully deterministic, so seeded simulated runs replay hedge routing
+        byte for byte.
+        """
+        candidates = [
+            index
+            for index in self.healthy_indices()
+            if self.replicas[index] is not origin
+        ]
+        if not candidates:
+            return None
+        best = min(
+            candidates,
+            key=lambda index: (
+                self._depth(self.replicas[index]),
+                -self._online_workers(self.replicas[index]),
+                index,
+            ),
+        )
+        return self.replicas[best]
 
     # -- health --------------------------------------------------------- #
     def mark_down(self, index: int) -> None:
@@ -144,8 +264,18 @@ class LoadBalancer:
                 index = (self._cursor + step) % len(self.replicas)
                 if index in candidates:
                     return index
-        depths = [self._depth(self.replicas[index]) for index in candidates]
-        return candidates[int(np.argmin(depths))]  # lowest index on ties
+        # Least-loaded: smallest outstanding depth; depth ties prefer the
+        # stack with more online workers (a replica whose cloud tier is
+        # mid-crash-window stops winning ties while technically "up"),
+        # then lowest index — deterministic either way.
+        return min(
+            candidates,
+            key=lambda index: (
+                self._depth(self.replicas[index]),
+                -self._online_workers(self.replicas[index]),
+                index,
+            ),
+        )
 
     def submit(
         self,
@@ -153,10 +283,11 @@ class LoadBalancer:
         client_id: str = "default",
         target: Optional[int] = None,
         at: Optional[float] = None,
+        slo_s: Optional[float] = None,
     ) -> Tuple[int, int]:
         """Route one sample; returns ``(replica_index, request_id)``."""
         replica, ids = self.submit_many(
-            [views], client_id=client_id, targets=[target], at=at
+            [views], client_id=client_id, targets=[target], at=at, slo_s=slo_s
         )
         return replica, ids[0]
 
@@ -166,11 +297,12 @@ class LoadBalancer:
         client_id: str = "default",
         targets: Optional[Sequence[Optional[int]]] = None,
         at: Optional[float] = None,
+        slo_s: Optional[float] = None,
     ) -> Tuple[int, List[int]]:
         """Route a co-arriving group to one replica; returns its index + ids."""
         index = self.pick()
         ids = self.replicas[index].submit_many(
-            views_list, client_id=client_id, targets=targets, at=at
+            views_list, client_id=client_id, targets=targets, at=at, slo_s=slo_s
         )
         self.assignments[index] += len(ids)
         # Rotation resumes after the replica actually used (which pick() may
@@ -181,7 +313,25 @@ class LoadBalancer:
 
     # ------------------------------------------------------------------ #
     def run_until_idle(self, drain: bool = False) -> List[FabricResponse]:
-        """Drain every replica; responses merged in (replica, id) order."""
+        """Drain every replica; responses merged in (replica, id) order.
+
+        Replicas sharing one event loop (hedging) are drained in a single
+        run — their events interleave on the shared timeline; independent
+        replicas are drained sequentially as before.
+        """
+        loop = self.replicas[0].events
+        if len(self.replicas) > 1 and all(
+            fabric.events is loop for fabric in self.replicas
+        ):
+            previous = [fabric._draining for fabric in self.replicas]
+            for fabric in self.replicas:
+                fabric._draining = fabric._draining or drain
+            try:
+                loop.run()
+            finally:
+                for fabric, before in zip(self.replicas, previous):
+                    fabric._draining = before
+            return self.responses
         responses: List[FabricResponse] = []
         for fabric in self.replicas:
             responses.extend(fabric.run_until_idle(drain=drain))
@@ -193,6 +343,42 @@ class LoadBalancer:
         for fabric in self.replicas:
             merged.extend(fabric.responses)
         return merged
+
+    def report(
+        self,
+        responses: Optional[Sequence[FabricResponse]] = None,
+        duration_s: Optional[float] = None,
+    ) -> FabricReport:
+        """Fleet-level report: merged responses, summed hedge/resilience
+        counters, and per-replica breaker metadata keyed ``r{i}:a->b``.
+
+        A hedge win lands its response on the sibling's ledger, so only
+        this merged view (never a single replica's
+        :meth:`DistributedServingFabric.report`) accounts every request
+        exactly once under hedging.
+        """
+        merged = list(self.responses if responses is None else responses)
+        base = self.replicas[0].report(merged, duration_s=duration_s)
+        stats = ResilienceStats.merged(
+            [fabric.resilience_stats for fabric in self.replicas]
+        )
+        base.hedge_total = stats.hedges
+        base.hedge_win_fraction = (
+            stats.hedge_wins / stats.hedges if stats.hedges else 0.0
+        )
+        base.hedge_bytes = sum(fabric.hedge_bytes for fabric in self.replicas)
+        base.metadata = {
+            "resilience": stats.as_dict(),
+            "admission": AdmissionStats.merged(
+                [fabric.admission_stats for fabric in self.replicas]
+            ).as_dict(),
+            "breakers": {
+                f"r{index}:{key}": value
+                for index, fabric in enumerate(self.replicas)
+                for key, value in fabric.report_metadata()["breakers"].items()
+            },
+        }
+        return base
 
     def close(self) -> None:
         for fabric in self.replicas:

@@ -41,12 +41,20 @@ class EventHandle:
     a cancelled head is popped eagerly instead of slept on.  Cancelling an
     already-fired or already-cancelled event is a harmless no-op, which is
     exactly what the offload deadline/delivery race wants.
+
+    ``daemon`` marks events that must not keep the loop alive on their own
+    (chaos window boundaries, per-request expiry timers): they fire
+    normally while real work is pending, but once only daemon events
+    remain — and every registered idle gate agrees there is no outstanding
+    work — :meth:`EventLoop.run` returns instead of waiting out the rest
+    of the timetable.
     """
 
-    __slots__ = ("cancelled",)
+    __slots__ = ("cancelled", "daemon")
 
-    def __init__(self) -> None:
+    def __init__(self, daemon: bool = False) -> None:
         self.cancelled = False
+        self.daemon = daemon
 
     def cancel(self) -> None:
         self.cancelled = True
@@ -123,25 +131,47 @@ class EventLoop:
         self._mutex = threading.Lock()
         self._wakeup = threading.Condition(self._mutex)
         self._inflight = 0
+        self._non_daemon = 0
+        self._idle_gates: List[Callable[[], bool]] = []
 
     def __len__(self) -> int:
         with self._mutex:
             return len(self._heap)
 
-    def schedule(self, when: float, callback: Callable[[float], None]) -> EventHandle:
+    def add_idle_gate(self, gate: Callable[[], bool]) -> None:
+        """Register a predicate consulted before idling out daemon events.
+
+        When only daemon events remain queued, :meth:`run` returns early —
+        *unless* some gate returns ``False``, signalling outstanding work
+        the daemon events are still needed for (e.g. a fabric whose tier
+        queue holds requests waiting for a chaos window's worker-restart
+        event).  Gates must be cheap and must not touch the loop.
+        """
+        self._idle_gates.append(gate)
+
+    def schedule(
+        self,
+        when: float,
+        callback: Callable[[float], None],
+        daemon: bool = False,
+    ) -> EventHandle:
         """Enqueue ``callback(fire_time)`` to run at time ``when`` (thread-safe).
 
         Returns an :class:`EventHandle` whose :meth:`~EventHandle.cancel`
         prevents the callback from firing (no-op if it already fired).
+        ``daemon=True`` events never keep the loop alive on their own (see
+        :class:`EventHandle`).
         """
         if math.isnan(when):
             raise ValueError("cannot schedule an event at NaN time")
-        handle = EventHandle()
+        handle = EventHandle(daemon=daemon)
         with self._wakeup:
             heapq.heappush(
                 self._heap, (max(when, self.clock.now), self._sequence, callback, handle)
             )
             self._sequence += 1
+            if not daemon:
+                self._non_daemon += 1
             self._wakeup.notify_all()
         return handle
 
@@ -175,6 +205,20 @@ class EventLoop:
             self._wakeup.notify_all()
 
     # ------------------------------------------------------------------ #
+    def _pop(self):
+        entry = heapq.heappop(self._heap)
+        if not entry[3].daemon:
+            self._non_daemon -= 1
+        return entry
+
+    def _daemon_only_idle(self) -> bool:
+        """Only daemon events left, nothing in flight, every gate open."""
+        return (
+            self._non_daemon == 0
+            and self._inflight == 0
+            and all(gate() for gate in self._idle_gates)
+        )
+
     def _next_event(self):
         """Pop the next due event, waiting in realtime mode; None when idle."""
         with self._wakeup:
@@ -182,13 +226,17 @@ class EventLoop:
                 # Cancelled events are discarded at the head so the loop
                 # neither fires nor (in realtime mode) waits for them.
                 while self._heap and self._heap[0][3].cancelled:
-                    heapq.heappop(self._heap)
+                    self._pop()
                 if self._heap:
+                    if self._daemon_only_idle():
+                        # A timetable of daemon events (chaos boundaries,
+                        # expiry timers) with no work left to govern: done.
+                        return None
                     if not self.realtime:
-                        return heapq.heappop(self._heap)
+                        return self._pop()
                     delay = self._heap[0][0] - self.clock.now
                     if delay <= 0.0:
-                        return heapq.heappop(self._heap)
+                        return self._pop()
                     # Wait for the deadline; an earlier post() re-examines.
                     self._wakeup.wait(timeout=delay)
                 elif self._inflight > 0:

@@ -48,6 +48,7 @@ letting the offload queue grow.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
@@ -72,7 +73,13 @@ from .admission import (
 from .batcher import BatchingPolicy
 from .clock import EventHandle, EventLoop, SimulatedClock, WallClock
 from .loadgen import ArrivalProcess, ServiceModel
-from .resilience import CircuitBreaker, ResilienceStats, RetryPolicy
+from .resilience import (
+    CircuitBreaker,
+    Deadline,
+    HedgePolicy,
+    ResilienceStats,
+    RetryPolicy,
+)
 from .workers import (
     WORKER_POOL_BACKENDS,
     WorkerHandle,
@@ -134,8 +141,20 @@ class FabricRequest:
     retries: int = 0
     #: Deepest exit decision this request has already cleared — the answer
     #: a failover degrades to: ``(prediction, entropy, exit_index,
-    #: exit_name)``.  Maintained only when an offload RetryPolicy is set.
+    #: exit_name)``.  Maintained when an offload RetryPolicy is set and for
+    #: any request carrying a deadline (retirement needs an answer too).
     fallback: Optional[Tuple[int, float, int, str]] = None
+    #: End-to-end SLO budget travelling with the request (``None`` = no SLO).
+    deadline: Optional[Deadline] = None
+    #: Exactly-once emission guard: set by :meth:`_finalize`, checked there.
+    answered: bool = False
+    #: A hedge copy of this request's offload won the race to a sibling.
+    hedged: bool = False
+    #: Daemon timer that retires the request at deadline expiry while queued.
+    expiry_handle: Optional[EventHandle] = field(default=None, repr=False)
+    #: ``(fabric, tier_index, item)`` while sitting in a tier queue, so the
+    #: expiry timer can surgically remove it; ``None`` otherwise.
+    queued_in: Optional[tuple] = field(default=None, repr=False)
 
 
 @dataclass
@@ -166,6 +185,14 @@ class FabricResponse:
     degraded: bool = False
     #: Offload re-sends this request's journey needed (0 on a clean path).
     retries: int = 0
+    #: True when the request's end-to-end SLO budget could not be met: it
+    #: was retired from a queue (or clipped before an offload/retry) and
+    #: answered from the deepest exit already cleared, or its real answer
+    #: simply landed after the budget.  Never dropped either way.
+    deadline_exceeded: bool = False
+    #: True when a speculative hedge copy to a sibling replica delivered
+    #: this request's offload first.
+    hedged: bool = False
 
     @property
     def latency_s(self) -> float:
@@ -200,6 +227,18 @@ class FabricReport:
     degraded_fraction: float = 0.0
     #: Total offload re-sends across all responses.
     retry_total: int = 0
+    #: Fraction of responses whose end-to-end SLO budget was missed.
+    deadline_exceeded_fraction: float = 0.0
+    #: Speculative hedge copies sent to sibling replicas.
+    hedge_total: int = 0
+    #: Fraction of hedges whose copy beat the original attempt.
+    hedge_win_fraction: float = 0.0
+    #: Extra bytes the hedge copies put on sibling links (honest accounting:
+    #: also charged to the individual requests' ``bytes_transferred``).
+    hedge_bytes: float = 0.0
+    #: Uniform observability block: resilience counters, admission
+    #: accounting and per-link breaker state/transition counts.
+    metadata: Dict[str, object] = field(default_factory=dict)
     responses: List[FabricResponse] = field(default_factory=list)
 
 
@@ -232,6 +271,26 @@ class _PendingItem:
     arrival_time: float
 
 
+class _RequestIds:
+    """Monotonic request-id source.
+
+    A plain attribute would do for one fabric; hedging makes it an object so
+    the :class:`~repro.serving.balancer.LoadBalancer` can share ONE source
+    across sibling replicas — merged response streams stay globally unique
+    and a hedge copy keeps its original id on the sibling stack.
+    """
+
+    __slots__ = ("next",)
+
+    def __init__(self) -> None:
+        self.next = 0
+
+    def take(self) -> int:
+        value = self.next
+        self.next += 1
+        return value
+
+
 @dataclass
 class _OffloadGroup:
     """One in-flight resilient offload: a batch's non-exiting rows in transit.
@@ -251,6 +310,17 @@ class _OffloadGroup:
     settled: bool = False
     delivery_handle: Optional[EventHandle] = None
     timeout_handle: Optional[EventHandle] = None
+    #: Pending backoff re-send (cancelled when any arrival settles first).
+    resend_handle: Optional[EventHandle] = None
+    #: Earliest member deadline — the group's whole SLO budget (inf = none).
+    expires_at: float = math.inf
+    #: Speculative hedge copies already sent to sibling replicas.
+    hedge_count: int = 0
+    #: Timer that fires the next hedge once ``trigger_fraction`` of the
+    #: remaining budget has elapsed without a delivery.
+    hedge_timer: Optional[EventHandle] = None
+    #: In-flight hedge delivery events (cancelled when any arrival settles).
+    hedge_deliveries: List[EventHandle] = field(default_factory=list)
 
 
 class _IngressQueueView:
@@ -406,6 +476,29 @@ class DistributedServingFabric:
     chaos:
         Optional :class:`~repro.hierarchy.faults.ChaosSchedule` applied at
         construction (equivalent to calling :meth:`attach_chaos`).
+    slo_s:
+        Default end-to-end SLO budget stamped on every submission as a
+        :class:`~repro.serving.resilience.Deadline` (per-call ``slo_s``
+        overrides).  The deadline travels with the request across tiers:
+        expired requests are retired from queues *before* burning compute,
+        retry ladders are clipped to the remaining budget, and every
+        answer landing past the budget is flagged ``deadline_exceeded``
+        (never dropped).
+    edf:
+        Form batches earliest-deadline-first instead of FIFO (requests
+        without a deadline sort last; ties break on request id).
+    hedge:
+        Optional :class:`~repro.serving.resilience.HedgePolicy`: once
+        ``trigger_fraction`` of an offload group's remaining budget has
+        elapsed without a delivery, a speculative copy is re-sent to a
+        sibling replica stack; first arrival wins, the rest are cancelled.
+        Requires ``offload`` and a router wired by the
+        :class:`~repro.serving.balancer.LoadBalancer` (a lone fabric has
+        no siblings, so the policy is inert without one).
+    events:
+        Optional shared :class:`~repro.serving.clock.EventLoop`; sibling
+        replicas under one balancer must share a loop for hedging (and
+        pass at most a matching ``clock``).
     """
 
     def __init__(
@@ -428,11 +521,24 @@ class DistributedServingFabric:
         offload: Optional[RetryPolicy] = None,
         breaker: Optional[CircuitBreaker] = None,
         chaos: Optional[ChaosSchedule] = None,
+        slo_s: Optional[float] = None,
+        edf: bool = False,
+        hedge: Optional[HedgePolicy] = None,
+        events: Optional[EventLoop] = None,
     ) -> None:
         if capacity is not None and capacity < 1:
             raise ValueError(
                 f"capacity must be >= 1 (or None for unbounded), got {capacity}"
             )
+        if events is not None:
+            if clock is not None and clock is not events.clock:
+                raise ValueError(
+                    "pass either a shared events loop or a clock, not a "
+                    "mismatched pair (the loop already owns its clock)"
+                )
+            clock = events.clock
+        if slo_s is not None and not slo_s > 0.0:
+            raise ValueError(f"slo_s must be > 0 (or None for no SLO), got {slo_s}")
         if backend not in WORKER_POOL_BACKENDS:
             raise ValueError(
                 f"unknown backend '{backend}' (choose from {WORKER_POOL_BACKENDS})"
@@ -459,7 +565,7 @@ class DistributedServingFabric:
         # hierarchy runtime makes the same call before it replays a dataset).
         self.model.eval()
         self.cascade = ExitCascade.for_model(self.model, thresholds)
-        self.events = EventLoop(clock)
+        self.events = events if events is not None else EventLoop(clock)
         self.adaptive = adaptive
         self.compile_enabled = bool(compile)
         self.backend = backend
@@ -566,14 +672,26 @@ class DistributedServingFabric:
         self.responses: List[FabricResponse] = []
         self.offered = 0
         self.relaxed_samples = 0
-        self._next_id = 0
+        #: Shared-able id source (the balancer unifies it across replicas
+        #: when hedging, so merged response streams stay globally unique).
+        self._ids = _RequestIds()
         self._draining = False
         self._started_at = self.clock.now
+        #: Default end-to-end SLO budget stamped on every submission
+        #: (per-call ``slo_s`` overrides; ``None`` = no deadline).
+        self.slo_s = None if slo_s is None else float(slo_s)
+        #: Earliest-deadline-first batch formation at every tier.
+        self.edf = bool(edf)
 
         if breaker is not None and offload is None:
             raise ValueError(
                 "breaker without offload does nothing: the circuit breaker "
                 "guards the resilient offload path — pass offload=RetryPolicy(...)"
+            )
+        if hedge is not None and offload is None:
+            raise ValueError(
+                "hedge without offload does nothing: hedge copies ride the "
+                "resilient offload path — pass offload=RetryPolicy(...)"
             )
         #: Offload resilience policy (None keeps the legacy immortal-network
         #: offload path, event for event).
@@ -585,6 +703,18 @@ class DistributedServingFabric:
             np.random.default_rng(offload.seed) if offload is not None else None
         )
         self.resilience_stats = ResilienceStats()
+        #: Hedged-offload policy; the routing callable is wired by the
+        #: LoadBalancer (``hedge_router(origin_fabric, origin_tier) ->
+        #: sibling fabric or None``) — a lone fabric has no siblings.
+        self.hedge_policy = hedge
+        self.hedge_router = None
+        #: Total bytes hedge copies put on sibling links (fleet-honest: also
+        #: charged per request, so mean_bytes reflects the speculation tax).
+        self.hedge_bytes = 0.0
+        # Per-request expiry timers are daemon events; this gate keeps the
+        # loop alive while real work is queued or computing (e.g. a backlog
+        # waiting for an offload delivery that is still in flight).
+        self.events.add_idle_gate(self._idle_gate)
         self.chaos: Optional[ChaosSchedule] = None
         if chaos is not None:
             self.attach_chaos(chaos)
@@ -593,6 +723,17 @@ class DistributedServingFabric:
     @property
     def clock(self) -> Union[SimulatedClock, WallClock]:
         return self.events.clock
+
+    @property
+    def _next_id(self) -> int:
+        return self._ids.next
+
+    def _idle_gate(self) -> bool:
+        """Loop-idleness veto: daemon timers alone never keep the loop
+        alive, but queued or in-flight work on this fabric must."""
+        return self._inflight_batches == 0 and all(
+            not tier.queue for tier in self.tiers
+        )
 
     @property
     def tier_names(self) -> List[str]:
@@ -632,6 +773,9 @@ class DistributedServingFabric:
         self.deployment.fabric.attach_chaos(schedule)
         for index, tier in enumerate(self.tiers):
             for when in schedule.worker_event_times(tier.name):
+                # Deliberately non-daemon: a run under chaos advances
+                # through every boundary, so crashed workers always restart
+                # (health checks and drains rely on it).
                 self.events.schedule(
                     when,
                     lambda now, i=index: self._apply_worker_chaos(i, now),
@@ -699,6 +843,7 @@ class DistributedServingFabric:
                 "from the plan; construct the fabric directly to override them"
             )
         sections = build_tier_sections(deployment, plan=plan)
+        kwargs.setdefault("slo_s", plan.slo_s)
         fabric = cls(
             deployment,
             thresholds,
@@ -719,9 +864,12 @@ class DistributedServingFabric:
         client_id: str = "default",
         target: Optional[int] = None,
         at: Optional[float] = None,
+        slo_s: Optional[float] = None,
     ) -> int:
         """Schedule one sample's arrival at the device tier; returns its id."""
-        return self.submit_many([views], client_id=client_id, targets=[target], at=at)[0]
+        return self.submit_many(
+            [views], client_id=client_id, targets=[target], at=at, slo_s=slo_s
+        )[0]
 
     def submit_many(
         self,
@@ -729,14 +877,22 @@ class DistributedServingFabric:
         client_id: str = "default",
         targets: Optional[Sequence[Optional[int]]] = None,
         at: Optional[float] = None,
+        slo_s: Optional[float] = None,
     ) -> List[int]:
         """Schedule a group of samples arriving together (one batch-forming event).
 
         Samples submitted together enter the device-tier queue in one event,
         so a replay of a whole dataset at time zero forms full micro-batches
         instead of one degenerate batch per arrival.
+
+        ``slo_s`` stamps each request with an end-to-end
+        :class:`~repro.serving.resilience.Deadline` whose budget starts at
+        submit time (ingress transfer included); ``None`` falls back to the
+        fabric-wide default.  The deadline travels with the request across
+        tiers — and across replicas when a hedge wins.
         """
         when = self.clock.now if at is None else float(at)
+        slo = self.slo_s if slo_s is None else float(slo_s)
         if targets is None:
             targets = [None] * len(views_list)
         if len(targets) != len(views_list):
@@ -761,7 +917,7 @@ class DistributedServingFabric:
                 )
                 ingress_delay = delay
             request = FabricRequest(
-                request_id=self._next_id,
+                request_id=self._ids.take(),
                 client_id=client_id,
                 views=views,
                 target=None if target is None else int(target),
@@ -769,7 +925,16 @@ class DistributedServingFabric:
                 path_latency_s=delay,
                 bytes_transferred=self.request_bytes if self.ingress is not None else 0.0,
             )
-            self._next_id += 1
+            if slo is not None:
+                request.deadline = Deadline.from_slo(slo, when)
+                # Daemon: an expiry timer retires the request if it is still
+                # sitting in a queue at its budget, but never keeps an
+                # otherwise-finished run alive.
+                request.expiry_handle = self.events.schedule(
+                    request.deadline.expires_at,
+                    lambda now, r=request: self._expire(r, now),
+                    daemon=True,
+                )
             self.offered += 1
             requests.append(request)
         items = [(request, request.views) for request in requests]
@@ -790,14 +955,21 @@ class DistributedServingFabric:
         if fresh:
             # Ingress admission: only brand-new tier-0 arrivals knock;
             # offloads from lower tiers and repartition requeues are already
-            # inside the system and bypass the policy.
+            # inside the system and bypass the policy.  A request whose SLO
+            # already expired in the ingress link is retired before it even
+            # knocks.
             admitted = 0
             for request, payload in items:
+                if self._retire_if_expired(request, now):
+                    continue
                 admitted += self._admit(request, payload, now)
         else:
+            admitted = 0
             for request, payload in items:
-                tier.queue.append(_PendingItem(request, payload, now))
-            admitted = len(items)
+                if self._retire_if_expired(request, now):
+                    continue
+                self._enqueue(tier_index, request, payload, now)
+                admitted += 1
         if self.autoscaler is not None and admitted:
             self.autoscaler.observe_arrival(tier_index, now, count=admitted)
         self._dispatch(tier_index, now)
@@ -821,7 +993,7 @@ class DistributedServingFabric:
         queue = self.tiers[0].queue
         full = self.capacity is not None and len(queue) >= self.capacity
         if not full and not self.admission.pre_queue:
-            queue.append(_PendingItem(request, payload, now))
+            self._enqueue(0, request, payload, now)
             self.admission_stats.accepted += 1
             return 1
         outcome = self.admission.decide(self._queue_view, request.client_id)
@@ -842,9 +1014,9 @@ class DistributedServingFabric:
                     # accepted, a full queue evicts its head to make room.
                     self.admission_stats.shed -= 1
                     if self.capacity is not None and len(queue) >= self.capacity:
-                        queue.popleft()
+                        self._evict_head()
                         self.admission_stats.dropped += 1
-                    queue.append(_PendingItem(request, payload, now))
+                    self._enqueue(0, request, payload, now)
                     self.admission_stats.accepted += 1
                     return 1
             else:
@@ -852,11 +1024,29 @@ class DistributedServingFabric:
             return 0
         if full:
             # ACCEPTED while full: evict the head-of-line request.
-            queue.popleft()
+            self._evict_head()
             self.admission_stats.dropped += 1
-        queue.append(_PendingItem(request, payload, now))
+        self._enqueue(0, request, payload, now)
         self.admission_stats.accepted += 1
         return 1
+
+    def _enqueue(
+        self, tier_index: int, request: FabricRequest, payload: object, now: float
+    ) -> None:
+        """Queue a request at one tier, recording where so its expiry timer
+        can surgically retire it from the queue."""
+        item = _PendingItem(request, payload, now)
+        request.queued_in = (self, tier_index, item)
+        self.tiers[tier_index].queue.append(item)
+
+    def _evict_head(self) -> None:
+        """Drop-oldest eviction: the victim leaves the system entirely, so
+        its expiry timer (if any) must not fire on a request that is gone."""
+        evicted = self.tiers[0].queue.popleft()
+        evicted.request.queued_in = None
+        if evicted.request.expiry_handle is not None:
+            evicted.request.expiry_handle.cancel()
+            evicted.request.expiry_handle = None
 
     def _require_first_exit(self) -> int:
         exit_index = self.sections[0].exit_index
@@ -917,8 +1107,105 @@ class DistributedServingFabric:
             degraded=degraded,
             retries=request.retries if degraded else 0,
         )
+        return self._finalize(request, response)
+
+    # -- end-to-end SLO plane ------------------------------------------- #
+    def _finalize(
+        self, request: FabricRequest, response: FabricResponse
+    ) -> FabricResponse:
+        """Single emission point for every answer path.
+
+        Enforces the exactly-once invariant (deadline retirement, failover,
+        hedging and normal exits all converge here), disarms the expiry
+        timer, and stamps ``deadline_exceeded`` honestly: any answer landing
+        at or past the budget is flagged, whatever path produced it.
+        """
+        if request.answered:
+            raise RuntimeError(
+                f"request {request.request_id} answered twice — fabric invariant"
+            )
+        request.answered = True
+        request.queued_in = None
+        if request.expiry_handle is not None:
+            request.expiry_handle.cancel()
+            request.expiry_handle = None
+        if (
+            request.deadline is not None
+            and response.completion_time >= request.deadline.expires_at
+        ):
+            response.deadline_exceeded = True
+        if request.hedged:
+            response.hedged = True
         self.responses.append(response)
         return response
+
+    def _can_retire(self, request: FabricRequest) -> bool:
+        """A request can only be retired at its deadline if *something* can
+        answer it: the deepest exit it already cleared, or the first exit."""
+        return request.fallback is not None or self.sections[0].exit_index is not None
+
+    def _fallback_response(
+        self, request: FabricRequest, now: float, batch_size: int = 1
+    ) -> FabricResponse:
+        """Answer from the deepest exit decision the request already cleared
+        (first-exit evaluation when its journey never cleared one)."""
+        if request.fallback is None:
+            response = self._shed_response(request, now, degraded=True)
+            assert response is not None  # no max_entropy bound on this path
+            return response
+        prediction, entropy, exit_index, exit_name = request.fallback
+        response = FabricResponse(
+            request_id=request.request_id,
+            client_id=request.client_id,
+            prediction=int(prediction),
+            exit_index=int(exit_index),
+            exit_name=exit_name,
+            entropy=float(entropy),
+            target=request.target,
+            submit_time=request.submit_time,
+            completion_time=now,
+            path_latency_s=request.path_latency_s,
+            bytes_transferred=request.bytes_transferred,
+            batch_size=batch_size,
+            degraded=True,
+            retries=request.retries,
+        )
+        return self._finalize(request, response)
+
+    def _deadline_response(
+        self, request: FabricRequest, now: float, batch_size: int = 1
+    ) -> FabricResponse:
+        """Retire a request whose SLO budget is (or provably will be) blown:
+        answered immediately from the deepest exit already cleared — never
+        dropped, and no further transfer or remote compute is spent on it."""
+        self.resilience_stats.deadline_expired += 1
+        return self._fallback_response(request, now, batch_size=batch_size)
+
+    def _retire_if_expired(self, request: FabricRequest, now: float) -> bool:
+        """Retire an already-expired request instead of advancing it."""
+        if (
+            request.deadline is None
+            or not request.deadline.expired(now)
+            or not self._can_retire(request)
+        ):
+            return False
+        self._deadline_response(request, now)
+        return True
+
+    def _expire(self, request: FabricRequest, now: float) -> None:
+        """Deadline timer: retire the request if it is sitting in a tier
+        queue (on this fabric or — after a winning hedge — a sibling's)."""
+        if request.answered or request.queued_in is None:
+            return
+        fabric, tier_index, item = request.queued_in
+        if not fabric._can_retire(request):
+            return  # nothing to answer from yet; the final answer gets flagged
+        try:
+            fabric.tiers[tier_index].queue.remove(item)
+        except ValueError:
+            return  # popped into a batch between scheduling and firing
+        request.queued_in = None
+        fabric._deadline_response(request, now)
 
     # ------------------------------------------------------------------ #
     def _dispatch(self, tier_index: int, now: float) -> None:
@@ -935,9 +1222,39 @@ class DistributedServingFabric:
                 and self.sections[0].exit_index is not None
                 and len(tier.queue) >= self.adaptive.depth_trigger
             )
+            if self.edf and len(tier.queue) > 1:
+                # Earliest-deadline-first batch formation: requests with no
+                # deadline sort last; ties break on request id so the order
+                # is total and deterministic.
+                tier.queue = deque(
+                    sorted(
+                        tier.queue,
+                        key=lambda item: (
+                            item.request.deadline.expires_at
+                            if item.request.deadline is not None
+                            else math.inf,
+                            item.request.request_id,
+                        ),
+                    )
+                )
             batch: List[_PendingItem] = []
             while tier.queue and len(batch) < tier.policy.max_batch_size:
-                batch.append(tier.queue.popleft())
+                item = tier.queue.popleft()
+                request = item.request
+                request.queued_in = None
+                if request.deadline is not None and request.deadline.expired(now):
+                    if self._can_retire(request):
+                        # Retired at batch formation: an expired request
+                        # never occupies a compute slot.
+                        self._deadline_response(request, now)
+                        continue
+                    if tier_index > 0:
+                        # Nothing to answer it from: compute anyway, and
+                        # count the honesty violation the SLO bench gates on.
+                        self.resilience_stats.expired_compute += 1
+                batch.append(item)
+            if not batch:
+                continue
             payload: object
             if tier_index == 0:
                 payload = np.stack([item.payload for item in batch])
@@ -1012,27 +1329,57 @@ class DistributedServingFabric:
             )
             if relaxed:
                 self.relaxed_samples += 1
-            self.responses.append(response)
+            self._finalize(request, response)
 
         remaining = np.flatnonzero(~exit_mask)
         if remaining.size:
-            if self.offload_policy is not None:
-                # Resilient offload path: remember the decision each row is
-                # failing over to (the deepest exit already cleared), then
-                # send the rows as one deadline-guarded message-group.
-                if decision is not None:
-                    for row in remaining:
-                        batch[row].request.fallback = (
+            # Remember the decision each non-exiting row would fail over or
+            # retire to (the deepest exit already cleared) — maintained on
+            # the resilient path and for any deadline-carrying request.
+            if decision is not None:
+                for row in remaining:
+                    request = batch[row].request
+                    if self.offload_policy is not None or request.deadline is not None:
+                        request.fallback = (
                             int(decision.predictions[row]),
                             float(decision.entropies[row]),
                             section.exit_index,
                             section.exit_name,
                         )
+            # SLO budget pre-filter: a row whose remaining budget cannot
+            # cover even the (conservative, chargeless) transfer estimate is
+            # answered locally *before* any bytes hit the wire — an SLO
+            # shorter than one link transfer never sends an offload at all.
+            sendable: List[int] = []
+            estimate: Optional[float] = None
+            for row in remaining:
+                request = batch[row].request
+                if request.deadline is not None and self._can_retire(request):
+                    if estimate is None:
+                        estimate = section.transfer_estimate_s()
+                    if now + estimate >= request.deadline.expires_at:
+                        self._deadline_response(request, now, batch_size=batch_size)
+                        continue
+                sendable.append(int(row))
+            remaining = np.asarray(sendable, dtype=np.int64)
+        if remaining.size:
+            if self.offload_policy is not None:
+                # Resilient offload path: the rows travel (and are retried,
+                # and hedged) as one deadline-guarded message-group whose
+                # budget is the earliest member deadline.
                 group = _OffloadGroup(
                     origin=tier_index,
                     requests=[batch[row].request for row in remaining],
                     rows=np.asarray(remaining),
                     carry=result.carry,
+                )
+                group.expires_at = min(
+                    (
+                        request.deadline.expires_at
+                        for request in group.requests
+                        if request.deadline is not None
+                    ),
+                    default=math.inf,
                 )
                 self._offload_attempt(group, now)
             else:
@@ -1068,9 +1415,43 @@ class DistributedServingFabric:
             return
         self._dispatch(tier_index, now)
 
-    # -- resilient offloads: deadline, retry/backoff, failover ----------- #
+    # -- resilient offloads: deadline, retry/backoff, hedging, failover -- #
+    def _settle(self, group: _OffloadGroup) -> None:
+        """Mark a group decided and disarm every timer racing for it."""
+        group.settled = True
+        for handle in (
+            group.delivery_handle,
+            group.timeout_handle,
+            group.resend_handle,
+            group.hedge_timer,
+        ):
+            if handle is not None:
+                handle.cancel()
+        group.delivery_handle = None
+        group.timeout_handle = None
+        group.resend_handle = None
+        group.hedge_timer = None
+        for handle in group.hedge_deliveries:
+            handle.cancel()
+        group.hedge_deliveries.clear()
+
+    def _attempt_timeout_at(self, policy: RetryPolicy, group: _OffloadGroup, now: float) -> float:
+        """One attempt's give-up time: the retry deadline, clipped to the
+        group's end-to-end budget (waiting past it helps nobody)."""
+        return min(now + policy.deadline_s, group.expires_at)
+
+    def _hedge_pending(self, group: _OffloadGroup) -> bool:
+        """A hedge copy is still in flight and may yet deliver the group."""
+        return any(not handle.cancelled for handle in group.hedge_deliveries)
+
     def _offload_attempt(self, group: _OffloadGroup, now: float) -> None:
         """Send (or re-send) one offload group under the deadline policy."""
+        if group.settled:
+            # A hedge win (or deadline retirement) landed during the backoff
+            # that scheduled this re-send; re-sending — or worse, failing
+            # over — a settled group would answer its requests twice.
+            return
+        group.resend_handle = None
         policy = self.offload_policy
         assert policy is not None
         origin = self.tiers[group.origin]
@@ -1078,9 +1459,27 @@ class DistributedServingFabric:
         breaker = self.breaker_for(origin.name, target.name)
         if not breaker.allow(now):
             # Fast-fail: the link is known-dark; answer locally without
-            # burning a deadline + backoff ladder on it.
+            # burning a deadline + backoff ladder on it — unless a sibling
+            # replica can take a hedge copy right now, in which case the
+            # hedge (guarded by the usual attempt timeout) owns delivery.
             self.resilience_stats.breaker_fast_fails += 1
-            group.settled = True
+            if self._fire_hedge(group, now):
+                group.attempts += 1
+                attempt = group.attempts
+                group.delivery_handle = None
+                group.timeout_handle = self.events.schedule(
+                    self._attempt_timeout_at(policy, group, now),
+                    lambda fire_time, g=group, a=attempt: (
+                        self._offload_timeout(g, a, fire_time)
+                    ),
+                )
+                return
+            if self._hedge_pending(group):
+                # A hedge copy is already in flight; failing over now would
+                # cancel a delivery that is about to win.  Let the hedge
+                # settle the group (its delivery event is scheduled).
+                return
+            self._settle(group)
             self._failover(group, now)
             return
         group.attempts += 1
@@ -1105,11 +1504,104 @@ class DistributedServingFabric:
         else:
             group.delivery_handle = None
         group.timeout_handle = self.events.schedule(
-            now + policy.deadline_s,
+            self._attempt_timeout_at(policy, group, now),
             lambda fire_time, g=group, a=attempt: (
                 self._offload_timeout(g, a, fire_time)
             ),
         )
+        if (
+            group.attempts == 1
+            and self.hedge_policy is not None
+            and self.hedge_router is not None
+            and group.expires_at < math.inf
+        ):
+            self._arm_hedge_timer(group, now)
+
+    def _arm_hedge_timer(self, group: _OffloadGroup, now: float) -> None:
+        """Arm the speculative re-send: fire once ``trigger_fraction`` of
+        the remaining budget elapses without a delivery settling the group."""
+        policy = self.hedge_policy
+        assert policy is not None
+        if group.hedge_count >= policy.max_hedges:
+            return
+        budget = group.expires_at - now
+        if budget <= 0.0:
+            return
+        group.hedge_timer = self.events.schedule(
+            now + policy.trigger_fraction * budget,
+            lambda fire_time, g=group: self._hedge_due(g, fire_time),
+        )
+
+    def _hedge_due(self, group: _OffloadGroup, now: float) -> None:
+        group.hedge_timer = None
+        if group.settled:
+            return
+        if self._fire_hedge(group, now):
+            # Further copies (if the policy allows them) trigger at the same
+            # fraction of whatever budget then remains.
+            self._arm_hedge_timer(group, now)
+
+    def _fire_hedge(self, group: _OffloadGroup, now: float) -> bool:
+        """Speculatively re-send the group to a sibling replica stack.
+
+        The copy goes through the *sibling's* origin section, so its bytes
+        and transfer seconds land on the sibling's links (honest hedge
+        accounting), and through the sibling's chaos realisation.  First
+        arrival — original or any hedge — wins; the rest are cancelled.
+        Returns True when a copy was actually sent.
+        """
+        policy = self.hedge_policy
+        if policy is None or self.hedge_router is None:
+            return False
+        if group.settled or group.hedge_count >= policy.max_hedges:
+            return False
+        if group.expires_at <= now:
+            return False
+        sibling = self.hedge_router(self, group.origin)
+        if sibling is None:
+            return False
+        group.hedge_count += 1
+        self.resilience_stats.hedges += 1
+        section = sibling.tiers[group.origin].section
+        transfer = section.offload(group.carry, group.rows)
+        self.hedge_bytes += float(np.sum(transfer.bytes))
+        for position, request in enumerate(group.requests):
+            request.path_latency_s += float(transfer.delay_s[position])
+            request.bytes_transferred += float(transfer.bytes[position])
+        delay = float(np.max(transfer.delay_s)) if len(group.requests) else 0.0
+        delivered = sibling.deployment.fabric.delivery(
+            sibling.tiers[group.origin].name,
+            sibling.tiers[group.origin + 1].name,
+            now,
+        )
+        if delivered:
+            items = list(zip(group.requests, transfer.payloads))
+            handle = self.events.schedule(
+                now + delay,
+                lambda fire_time, g=group, s=sibling, it=items: (
+                    self._hedge_delivered(g, s, it, fire_time)
+                ),
+            )
+            group.hedge_deliveries.append(handle)
+        return True
+
+    def _hedge_delivered(
+        self,
+        group: _OffloadGroup,
+        sibling: "DistributedServingFabric",
+        items: List[Tuple[FabricRequest, object]],
+        now: float,
+    ) -> None:
+        """A hedge copy reached the sibling's next tier first: it wins."""
+        if group.settled:
+            # The original (or an earlier hedge) got there first.
+            self.resilience_stats.late_deliveries += 1
+            return
+        self._settle(group)
+        self.resilience_stats.hedge_wins += 1
+        for request in group.requests:
+            request.hedged = True
+        sibling._arrive(group.origin + 1, items, now)
 
     def _offload_delivered(
         self,
@@ -1120,13 +1612,11 @@ class DistributedServingFabric:
     ) -> None:
         """An offload group's payload reached the next tier."""
         if group.settled or attempt != group.attempts:
-            # The deadline (or a failover) already retired this attempt;
-            # delivering it now would duplicate the requests downstream.
+            # The deadline (or a failover/hedge) already retired this
+            # attempt; delivering it now would duplicate requests downstream.
             self.resilience_stats.late_deliveries += 1
             return
-        group.settled = True
-        if group.timeout_handle is not None:
-            group.timeout_handle.cancel()
+        self._settle(group)
         origin = self.tiers[group.origin]
         target = self.tiers[group.origin + 1]
         self.breaker_for(origin.name, target.name).record_success(now)
@@ -1148,14 +1638,28 @@ class DistributedServingFabric:
         target = self.tiers[group.origin + 1]
         self.breaker_for(origin.name, target.name).record_failure(now)
         if group.attempts > policy.max_retries:
-            group.settled = True
+            if self._hedge_pending(group):
+                return  # a hedge copy is still racing; it owns delivery now
+            self._settle(group)
             self._failover(group, now)
             return
+        backoff = policy.backoff_s(group.attempts, self._retry_rng)
+        if group.expires_at < math.inf:
+            # Clip the ladder to the remaining end-to-end budget: a re-send
+            # that cannot possibly land before the group's earliest deadline
+            # is never sent — fail over (or let a live hedge win) instead.
+            resend_lands = now + backoff + origin.section.transfer_estimate_s()
+            if resend_lands >= group.expires_at:
+                self.resilience_stats.clipped_retries += 1
+                if self._hedge_pending(group):
+                    return
+                self._settle(group)
+                self._failover(group, now)
+                return
         self.resilience_stats.retries += 1
         for request in group.requests:
             request.retries += 1
-        backoff = policy.backoff_s(group.attempts, self._retry_rng)
-        self.events.schedule(
+        group.resend_handle = self.events.schedule(
             now + backoff,
             lambda fire_time, g=group: self._offload_attempt(g, fire_time),
         )
@@ -1172,29 +1676,7 @@ class DistributedServingFabric:
         flagged ``degraded`` (first-exit re-evaluation when the journey
         never cleared an exit)."""
         self.resilience_stats.failovers += 1
-        if request.fallback is None:
-            response = self._shed_response(request, now, degraded=True)
-            assert response is not None  # no max_entropy bound on failovers
-            return response
-        prediction, entropy, exit_index, exit_name = request.fallback
-        response = FabricResponse(
-            request_id=request.request_id,
-            client_id=request.client_id,
-            prediction=prediction,
-            exit_index=exit_index,
-            exit_name=exit_name,
-            entropy=entropy,
-            target=request.target,
-            submit_time=request.submit_time,
-            completion_time=now,
-            path_latency_s=request.path_latency_s,
-            bytes_transferred=request.bytes_transferred,
-            batch_size=batch_size,
-            degraded=True,
-            retries=request.retries,
-        )
-        self.responses.append(response)
-        return response
+        return self._fallback_response(request, now, batch_size=batch_size)
 
     # ------------------------------------------------------------------ #
     def apply_plan(
@@ -1457,7 +1939,13 @@ class DistributedServingFabric:
         )
         if not responses:
             return FabricReport(
-                served=0, duration_s=duration, offload_fraction=0.0, exit_fractions={}
+                served=0,
+                duration_s=duration,
+                offload_fraction=0.0,
+                exit_fractions={},
+                hedge_total=self.resilience_stats.hedges,
+                hedge_bytes=self.hedge_bytes,
+                metadata=self.report_metadata(),
             )
         latencies = np.array([response.latency_s for response in responses])
         exit_counts: Dict[str, int] = {}
@@ -1485,5 +1973,32 @@ class DistributedServingFabric:
             shed_fraction=sum(1 for r in responses if r.shed) / total,
             degraded_fraction=sum(1 for r in responses if r.degraded) / total,
             retry_total=sum(r.retries for r in responses),
+            deadline_exceeded_fraction=(
+                sum(1 for r in responses if r.deadline_exceeded) / total
+            ),
+            hedge_total=self.resilience_stats.hedges,
+            hedge_win_fraction=(
+                self.resilience_stats.hedge_wins / self.resilience_stats.hedges
+                if self.resilience_stats.hedges
+                else 0.0
+            ),
+            hedge_bytes=self.hedge_bytes,
+            metadata=self.report_metadata(),
             responses=responses,
         )
+
+    def report_metadata(self) -> Dict[str, object]:
+        """Uniform observability block surfaced on every report: resilience
+        counters (retries, failovers, deadline/hedge counts, ...), admission
+        accounting, and per-link breaker state + transition counts."""
+        return {
+            "resilience": self.resilience_stats.as_dict(),
+            "admission": self.admission_stats.as_dict(),
+            "breakers": {
+                f"{origin}->{target}": {
+                    "state": breaker.state.value,
+                    "transitions": breaker.transitions,
+                }
+                for (origin, target), breaker in sorted(self.breakers.items())
+            },
+        }

@@ -15,9 +15,18 @@ Barroso's *The Tail at Scale*; gRPC-style deadline propagation):
   burning a full deadline + backoff ladder each; after ``reset_timeout_s``
   a single half-open probe is let through, and its outcome closes or
   re-opens the breaker.
+* :class:`Deadline` — an absolute end-to-end expiry stamped at ingress
+  from a per-request (or per-plan) ``slo_s`` budget. It rides the request
+  through every tier: queued work that expires is retired before a worker
+  burns compute on it, and the retry ladder is clipped to the remaining
+  budget (no re-send that cannot possibly land in time).
+* :class:`HedgePolicy` — speculative re-sends to a sibling replica stack:
+  once an offload's first attempt has consumed ``trigger_fraction`` of its
+  remaining budget, up to ``max_hedges`` copies race it through the
+  balancer's other replicas; first arrival wins, losers are cancelled.
 * :class:`ResilienceStats` — fabric-wide accounting of attempts, timeouts,
-  retries, failovers and breaker fast-fails, so degraded service is always
-  measured, never silent.
+  retries, failovers, breaker fast-fails, expired-deadline retirements and
+  hedges, so degraded service is always measured, never silent.
 
 Everything here is clock-agnostic pure state; the fabric drives it from
 the event loop, which keeps the whole recovery path deterministic under
@@ -31,7 +40,72 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Optional
 
-__all__ = ["RetryPolicy", "BreakerState", "CircuitBreaker", "ResilienceStats"]
+__all__ = [
+    "Deadline",
+    "HedgePolicy",
+    "RetryPolicy",
+    "BreakerState",
+    "CircuitBreaker",
+    "ResilienceStats",
+]
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """Absolute end-to-end expiry for one request, stamped at ingress.
+
+    ``expires_at`` is a point on the fabric's clock (simulated or wall);
+    ``slo_s`` records the budget it was derived from so reports can state
+    hit rates against the original objective. The deadline is advisory
+    until it expires — after that the fabric answers the request from the
+    deepest exit already cleared (marked ``deadline_exceeded``) rather
+    than spending more compute or network on it.
+    """
+
+    slo_s: float
+    expires_at: float
+
+    def __post_init__(self) -> None:
+        if not self.slo_s > 0.0:
+            raise ValueError(f"slo_s must be > 0, got {self.slo_s}")
+
+    @classmethod
+    def from_slo(cls, slo_s: float, now: float) -> "Deadline":
+        return cls(slo_s=float(slo_s), expires_at=now + float(slo_s))
+
+    def remaining(self, now: float) -> float:
+        return self.expires_at - now
+
+    def expired(self, now: float) -> bool:
+        return now >= self.expires_at
+
+
+@dataclass(frozen=True)
+class HedgePolicy:
+    """Speculative offload re-sends to sibling replicas (tail hedging).
+
+    Once an offload group's first attempt has been in flight for
+    ``trigger_fraction`` of the budget that remained when it was sent, a
+    copy is re-sent to the least-loaded healthy sibling replica; while the
+    group stays unsettled further copies follow at the same fraction of
+    the then-remaining budget, up to ``max_hedges`` total. The first
+    arrival (original or hedge) wins and the losers' delivery events are
+    cancelled. Hedging therefore needs requests to carry a
+    :class:`Deadline` (the trigger is budget-relative) and a
+    :class:`~repro.serving.balancer.LoadBalancer` with ``replicas > 1``
+    sharing one event loop.
+    """
+
+    trigger_fraction: float = 0.5
+    max_hedges: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.trigger_fraction < 1.0:
+            raise ValueError(
+                f"trigger_fraction must be in (0, 1), got {self.trigger_fraction}"
+            )
+        if self.max_hedges < 1:
+            raise ValueError(f"max_hedges must be >= 1, got {self.max_hedges}")
 
 
 @dataclass(frozen=True)
@@ -125,6 +199,10 @@ class CircuitBreaker:
     state: BreakerState = BreakerState.CLOSED
     failures: int = 0
     opened_at: float = -math.inf
+    #: State changes over the breaker's lifetime (closed→open, open→half-open,
+    #: half-open→closed/open) — surfaced in ``FabricReport.metadata`` so flap
+    #: behaviour is observable without reading per-request records.
+    transitions: int = 0
     _probing: bool = field(default=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -148,6 +226,7 @@ class CircuitBreaker:
         if self.state is BreakerState.OPEN:
             if now >= self.opened_at + self.reset_timeout_s:
                 self.state = BreakerState.HALF_OPEN
+                self.transitions += 1
                 self._probing = True
                 return True
             return False
@@ -158,6 +237,8 @@ class CircuitBreaker:
         return False
 
     def record_success(self, now: float) -> None:
+        if self.state is not BreakerState.CLOSED:
+            self.transitions += 1
         self.state = BreakerState.CLOSED
         self.failures = 0
         self._probing = False
@@ -174,6 +255,7 @@ class CircuitBreaker:
             self._trip(now)
 
     def _trip(self, now: float) -> None:
+        self.transitions += 1
         self.state = BreakerState.OPEN
         self.opened_at = now
         self.failures = 0
@@ -200,6 +282,19 @@ class ResilienceStats:
     #: Deliveries that arrived after their attempt had already been retired
     #: (deadline raced the transfer); suppressed to keep requests unique.
     late_deliveries: int = 0
+    #: Requests retired because their end-to-end :class:`Deadline` expired
+    #: (answered from the deepest exit already cleared, never dropped).
+    deadline_expired: int = 0
+    #: Re-sends skipped because backoff + transfer could not land inside the
+    #: remaining budget (the ladder clipped to the deadline).
+    clipped_retries: int = 0
+    #: Hedge copies sent to sibling replicas, and how many of them won the
+    #: race against the original attempt.
+    hedges: int = 0
+    hedge_wins: int = 0
+    #: Already-expired requests that a remote tier worker computed anyway
+    #: (retirement could not answer them locally); the SLO bench asserts 0.
+    expired_compute: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -209,4 +304,18 @@ class ResilienceStats:
             "failovers": self.failovers,
             "breaker_fast_fails": self.breaker_fast_fails,
             "late_deliveries": self.late_deliveries,
+            "deadline_expired": self.deadline_expired,
+            "clipped_retries": self.clipped_retries,
+            "hedges": self.hedges,
+            "hedge_wins": self.hedge_wins,
+            "expired_compute": self.expired_compute,
         }
+
+    @classmethod
+    def merged(cls, stats: "list[ResilienceStats] | tuple"):
+        """Sum counters across replicas (the balancer's fleet-wide view)."""
+        total = cls()
+        for item in stats:
+            for name in total.as_dict():
+                setattr(total, name, getattr(total, name) + getattr(item, name))
+        return total

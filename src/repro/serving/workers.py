@@ -223,6 +223,12 @@ class ThreadPoolWorkerPool(WorkerPool):
     alive until it lands.  A task that raises on the worker thread re-raises
     on the loop thread (wrapped in :class:`RuntimeError`), so failures
     surface instead of deadlocking the drain.
+
+    Chaos crash windows work here too: :meth:`WorkerPool.apply_offline`
+    runs on the loop thread at each window boundary, a worker
+    mid-batch finishes its real computation before going dark, and the
+    loop's idle gates keep ``run()`` alive while queued work waits out a
+    crash window for the restart boundary.
     """
 
     backend = "thread"
